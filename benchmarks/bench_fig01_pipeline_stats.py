@@ -1,0 +1,20 @@
+"""Fig. 1 — statistics over the trained-pipeline corpus.
+
+Paper: boxplots of #operators, #inputs, #features, %unused features,
+#tree nodes, #trees, avg tree depth over ~500 OpenML CC-18 pipelines.
+Here: the synthetic corpus stand-in (DESIGN.md §2), default 120 pipelines.
+"""
+
+from benchmarks._util import run_report
+from repro.bench import reports
+
+
+def test_fig01_pipeline_statistics(benchmark):
+    table = run_report(
+        benchmark, lambda: reports.fig1_report(n_pipelines=120), "fig01")
+    rows = {r["metric"]: r for r in table.rows}
+    # Shape checks mirroring the paper's headline observations:
+    # large unused-feature fractions and wide tree-size spreads.
+    assert rows["pct_unused_features"]["median"] > 20.0
+    assert rows["n_trees"]["max"] > rows["n_trees"]["median"]
+    assert rows["n_features"]["max"] > rows["n_inputs"]["max"]

@@ -1,0 +1,20 @@
+"""Fig. 9 — rule combinations on Credit Card LR vs L1 strength.
+
+Paper: ModelProj+MLtoSQL is best for all variants; ModelProj alone degrades
+from 20% of baseline (sparse) to ~baseline (dense); MLtoSQL alone ~60%.
+"""
+
+from benchmarks._util import run_report
+from repro.bench import reports
+
+
+def test_fig09_linear_models(benchmark):
+    table = run_report(benchmark, lambda: reports.fig9_report(), "fig09")
+    # Sparsity grows as alpha (inverse regularization) shrinks.
+    zeros = [r["zero_weights"] for r in table.rows]
+    assert zeros == sorted(zeros)
+    sparsest = table.rows[-1]
+    densest = table.rows[0]
+    assert sparsest["zero_weights"] > densest["zero_weights"]
+    # The paper's headline: the combined rule wins on sparse models.
+    assert sparsest["modelproj_mltosql"] < sparsest["raven_noopt"]

@@ -1,0 +1,23 @@
+"""Fig. 10 — rule combinations on Hospital DT vs depth.
+
+Paper: MLtoSQL is a 21.7x win at depth 3 but a 2.3x slowdown at depth 20;
+ModelProj fades as more inputs get used; MLtoDNN not beneficial on CPU for
+small trees.
+"""
+
+from benchmarks._util import run_report
+from repro.bench import reports
+
+
+def test_fig10_tree_depth(benchmark):
+    table = run_report(benchmark, lambda: reports.fig10_report(), "fig10")
+    rows = {r["depth"]: r for r in table.rows}
+    # Unused columns shrink as depth grows (paper's parenthesized counts).
+    unused = [rows[d]["unused_columns"] for d in sorted(rows)]
+    assert unused == sorted(unused, reverse=True)
+    # The MLtoSQL crossover: a win for shallow trees ...
+    shallow = rows[min(rows)]
+    assert shallow["mltosql"] < shallow["raven_noopt"]
+    # ... and NOT a win for the deepest tree (paper: 2.3x slowdown).
+    deep = rows[max(rows)]
+    assert deep["mltosql"] > deep["raven_noopt"] * 0.8

@@ -1,0 +1,24 @@
+"""Fig. 12 — MLtoDNN on CPU and simulated GPU for complex GB models.
+
+Paper: GPU speedups 1.56-7.96x growing with complexity (K80 cluster);
+MLtoDNN-CPU 1.08-1.33x for the biggest models. GPU times here come from
+the roofline device model and are flagged simulated (DESIGN.md §2).
+"""
+
+from benchmarks._util import run_report
+from repro.bench import reports
+
+
+def test_fig12_gpu_complex_models(benchmark):
+    table = run_report(benchmark, lambda: reports.fig12_report(), "fig12")
+    rows = sorted(table.rows, key=lambda r: r["estimators"] * 2 ** r["depth"])
+    # GPU wins for every complex model and the win grows with complexity.
+    for row in rows:
+        assert row["gpu_speedup"] > 1.0
+    assert rows[-1]["gpu_speedup"] >= rows[0]["gpu_speedup"]
+    # MLtoDNN-CPU's *relative* cost shrinks as ensembles grow (the paper's
+    # trend), even though it does not win outright on this substrate — the
+    # numpy tensor kernels and the ML runtime's kernels are the same
+    # technology class here (see EXPERIMENTS.md).
+    ratios = [r["mltodnn_cpu"] / r["raven_noopt"] for r in rows]
+    assert ratios[-1] <= max(ratios[:-1]) * 1.25

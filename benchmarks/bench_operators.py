@@ -1,0 +1,77 @@
+"""Micro-benchmarks: the individual execution paths Raven chooses between.
+
+Ablation-style timings (DESIGN.md §4, "ablation benches"): the same trained
+pipeline scored through the ML runtime, the compiled SQL expressions, and
+the two tensor strategies — plus the relational primitives (scan, join)
+underneath every prediction query.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import build_workload, load_dataset
+from repro.core.rules.ml_to_sql import graph_to_expressions
+from repro.onnxlite import InferenceSession, convert_pipeline
+from repro.relational import Executor, Join, Scan
+from repro.storage import Catalog
+from repro.tensor import CpuDevice, compile_graph
+
+
+@pytest.fixture(scope="module")
+def hospital_workload():
+    return build_workload("hospital", "dt")
+
+
+@pytest.fixture(scope="module")
+def scoring_setup(hospital_workload):
+    dataset = hospital_workload.dataset
+    frame = dataset.joined()
+    graph = convert_pipeline(hospital_workload.pipeline)
+    inputs = {name: frame.array(name)
+              for name in dataset.numeric_inputs + dataset.categorical_inputs}
+    return frame, graph, inputs
+
+
+def test_scan_throughput(benchmark, hospital_workload):
+    session = hospital_workload.make_session(enable_optimizations=False)
+    executor = Executor(session.catalog)
+    benchmark(lambda: executor.execute(Scan("hospital_stays")))
+
+
+def test_hash_join_throughput(benchmark):
+    dataset = load_dataset("expedia")
+    catalog = Catalog()
+    for name, table in dataset.tables.items():
+        catalog.add_table(name, table,
+                          primary_key=dataset.primary_keys.get(name))
+    plan = Join(Scan("searches", "s"), Scan("hotels", "h"),
+                ["s.prop_id"], ["h.prop_id"])
+    executor = Executor(catalog)
+    benchmark(lambda: executor.execute(plan))
+
+
+def test_score_ml_runtime(benchmark, scoring_setup):
+    _frame, graph, inputs = scoring_setup
+    session = InferenceSession(graph)
+    benchmark(lambda: session.run(inputs, ["score"]))
+
+
+def test_score_sql_expressions(benchmark, scoring_setup):
+    frame, graph, inputs = scoring_setup
+    expressions = graph_to_expressions(graph, {n: n for n in inputs})
+    score = expressions["score"]
+    benchmark(lambda: score.evaluate(frame))
+
+
+@pytest.mark.parametrize("strategy", ["gemm", "traversal"])
+def test_score_tensor_strategies(benchmark, scoring_setup, strategy):
+    _frame, graph, inputs = scoring_setup
+    program = compile_graph(graph, tree_strategy=strategy)
+    device = CpuDevice()
+    benchmark(lambda: device.run(program, inputs))
+
+
+def test_optimizer_pass_latency(benchmark, hospital_workload):
+    """The co-optimizer itself (paper §7.4: 1-5s warm)."""
+    session = hospital_workload.make_session()
+    benchmark(lambda: session.optimize(hospital_workload.query))

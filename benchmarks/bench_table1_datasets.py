@@ -1,0 +1,25 @@
+"""Table 1 — dataset statistics (tables, inputs, post-encoding features).
+
+Paper reference: Credit Card 1/28/28; Hospital 1/24/59; Expedia 3/28/3965;
+Flights 4/37/6475. The generators reproduce these exactly at cardinality
+scale 1 (DESIGN.md §2).
+"""
+
+from benchmarks._util import run_report
+from repro.bench import reports
+
+PAPER = {
+    "creditcard": (1, 28, 28),
+    "hospital": (1, 24, 59),
+    "expedia": (3, 28, 3965),
+    "flights": (4, 37, 6475),
+}
+
+
+def test_table1_dataset_statistics(benchmark):
+    table = run_report(benchmark, reports.table1_report, "table1")
+    for row in table.rows:
+        tables, inputs, features = PAPER[row["dataset"]]
+        assert row["tables"] == tables
+        assert row["inputs"] == inputs
+        assert row["features_after_encoding"] == features

@@ -1,0 +1,37 @@
+"""repro — a from-scratch reproduction of Raven (SIGMOD 2022).
+
+*End-to-end Optimization of Machine Learning Prediction Queries*:
+a unified IR over relational + ML operators, cross-optimizations
+(predicate-based model pruning, model-projection pushdown), data-induced
+optimizations, and data-driven runtime selection (MLtoSQL / MLtoDNN).
+
+Quickstart::
+
+    from repro import RavenSession
+    session = RavenSession()
+    session.register_table("patients", table, primary_key=["id"])
+    session.register_model("risk", trained_pipeline)
+    result = session.sql(
+        "SELECT d.id, p.score "
+        "FROM PREDICT(MODEL = risk, DATA = patients AS d) "
+        "WITH (score FLOAT) AS p WHERE d.asthma = 1"
+    )
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured experiment index.
+"""
+
+from repro.core.optimizer import OptimizationReport, RavenOptimizer
+from repro.core.session import RavenSession, RunStats
+from repro.errors import RavenError
+from repro.storage.catalog import Catalog
+from repro.storage.partition import PartitionedTable
+from repro.storage.table import Schema, Table
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Catalog", "OptimizationReport", "PartitionedTable", "RavenError",
+    "RavenOptimizer", "RavenSession", "RunStats", "Schema", "Table",
+    "__version__",
+]

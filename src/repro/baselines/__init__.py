@@ -1,0 +1,14 @@
+"""Baseline systems the paper compares against (see DESIGN.md §2)."""
+
+from repro.baselines.madlib import (
+    MadlibExecutor,
+    POSTGRES_MAX_COLUMNS,
+    TooManyColumnsError,
+)
+from repro.baselines.rowwise import RowwisePipelineExecutor
+from repro.baselines.sklearn_udf import SklearnUdfExecutor
+
+__all__ = [
+    "MadlibExecutor", "POSTGRES_MAX_COLUMNS", "RowwisePipelineExecutor",
+    "SklearnUdfExecutor", "TooManyColumnsError",
+]

@@ -1,0 +1,17 @@
+"""Benchmark harness: timing utilities, workloads, per-figure reports."""
+
+from repro.bench.harness import ReportTable, env_scale, scaled, timed, timed_session_query
+from repro.bench.workloads import (
+    BASE_ROWS,
+    FIG6_MODELS,
+    Workload,
+    build_workload,
+    load_dataset,
+    make_model,
+)
+
+__all__ = [
+    "BASE_ROWS", "FIG6_MODELS", "ReportTable", "Workload", "build_workload",
+    "env_scale", "load_dataset", "make_model", "scaled", "timed",
+    "timed_session_query",
+]

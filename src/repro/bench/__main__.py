@@ -1,0 +1,50 @@
+"""CLI: regenerate any paper table/figure report.
+
+Usage::
+
+    python -m repro.bench table1
+    python -m repro.bench fig10
+    RAVEN_SCALE=0.1 python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import reports
+
+REPORTS = {
+    "fig1": lambda: reports.fig1_report(),
+    "table1": lambda: reports.table1_report(),
+    "fig4": lambda: reports.fig4_report(),
+    "fig6": lambda: reports.fig6_report(),
+    "fig7": lambda: reports.fig7_report(),
+    "fig8": lambda: reports.fig8_report(),
+    "fig9": lambda: reports.fig9_report(),
+    "fig10": lambda: reports.fig10_report(),
+    "fig11": lambda: reports.fig11_table2_report(),
+    "fig12": lambda: reports.fig12_report(),
+    "accuracy": lambda: reports.accuracy_report(),
+    "coverage": lambda: reports.coverage_report(),
+    "overheads": lambda: reports.overheads_report(),
+}
+
+
+def main(argv) -> int:
+    """Run the selected report(s) and print them; returns an exit code."""
+    if len(argv) != 1 or argv[0] not in set(REPORTS) | {"all"}:
+        names = ", ".join(sorted(REPORTS) + ["all"])
+        print(f"usage: python -m repro.bench <{names}>")
+        return 2
+    selected = list(REPORTS) if argv[0] == "all" else [argv[0]]
+    for name in selected:
+        result = REPORTS[name]()
+        tables = result if isinstance(result, tuple) else (result,)
+        for table in tables:
+            print()
+            print(table.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

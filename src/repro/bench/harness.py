@@ -1,0 +1,113 @@
+"""Benchmark harness utilities: timing, scaling, table formatting.
+
+The paper reports the trimmed mean of five runs (dropping min and max);
+:func:`timed` implements that protocol. ``RAVEN_SCALE`` (env var) scales
+every benchmark's row counts so the suite can be run paper-sized on a big
+machine or quickly on a laptop; reported numbers in EXPERIMENTS.md were
+collected at the default scale.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+
+def env_scale() -> float:
+    """The global row-count multiplier (``RAVEN_SCALE``, default 1.0)."""
+    return float(os.environ.get("RAVEN_SCALE", "1.0"))
+
+
+def scaled(rows: int, minimum: int = 1_000) -> int:
+    """Apply the global scale to a base row count."""
+    return max(minimum, int(rows * env_scale()))
+
+
+def timed(fn: Callable[[], object], repeats: int = 5,
+          trimmed: bool = True) -> float:
+    """Trimmed-mean wall time of ``fn`` (paper §7, 'Reported metrics')."""
+    times: List[float] = []
+    for _ in range(max(repeats, 1)):
+        started = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - started)
+    if trimmed and len(times) >= 3:
+        times = sorted(times)[1:-1]
+    return sum(times) / len(times)
+
+
+def timed_session_query(session, query: str, repeats: int = 3) -> float:
+    """Trimmed-mean *adjusted* seconds of a session query.
+
+    Adjusted seconds replace measured simulated-GPU time with the device
+    model's time (see ``repro.core.executor``); for CPU-only runs this is
+    identical to wall time.
+    """
+    times: List[float] = []
+    for _ in range(max(repeats, 1)):
+        session.sql(query)
+        times.append(session.last_run.adjusted_seconds)
+    if len(times) >= 3:
+        times = sorted(times)[1:-1]
+    return sum(times) / len(times)
+
+
+@dataclass
+class ReportTable:
+    """A paper-style results table that renders as aligned text."""
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, **values: object) -> None:
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                if value == 0:
+                    return "0"
+                if abs(value) >= 100:
+                    return f"{value:.0f}"
+                if abs(value) >= 1:
+                    return f"{value:.2f}"
+                return f"{value:.4f}"
+            return str(value)
+
+        grid = [[fmt(row.get(col, "")) for col in self.columns]
+                for row in self.rows]
+        widths = [max(len(self.columns[i]),
+                      *(len(r[i]) for r in grid)) if grid else len(self.columns[i])
+                  for i in range(len(self.columns))]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in grid:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print("\n" + self.render())
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            cells = []
+            for col in self.columns:
+                value = row.get(col, "")
+                cells.append(f"{value:.3g}" if isinstance(value, float) else str(value))
+            lines.append("| " + " | ".join(cells) + " |")
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)

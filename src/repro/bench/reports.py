@@ -1,0 +1,710 @@
+"""Report generators: one function per paper table/figure.
+
+Each ``figN_report`` / ``tableN_report`` returns a
+:class:`~repro.bench.harness.ReportTable` whose rows mirror the series the
+paper plots. The pytest benchmarks under ``benchmarks/`` call these and
+print them; EXPERIMENTS.md records a captured run with paper-vs-measured
+commentary. GPU rows are always flagged *simulated* (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import time
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines import (
+    MadlibExecutor,
+    RowwisePipelineExecutor,
+    SklearnUdfExecutor,
+    TooManyColumnsError,
+)
+from repro.bench.harness import ReportTable, scaled, timed, timed_session_query
+from repro.bench.workloads import (
+    BASE_ROWS,
+    FIG6_MODELS,
+    TRAIN_ROWS,
+    Workload,
+    build_workload,
+    load_dataset,
+    make_model,
+)
+from repro.core.rules.ml_to_sql import graph_to_expressions
+from repro.core.session import RavenSession
+from repro.core.strategies import (
+    CHOICES,
+    ClassificationStrategy,
+    MLInformedRuleStrategy,
+    RegressionStrategy,
+    class_balance,
+    evaluate_strategy,
+    feature_vector,
+)
+from repro.datasets import expedia, flights, generate_corpus
+from repro.datasets.corpus import CorpusEntry
+from repro.errors import UnsupportedOperatorError
+from repro.ir.stats import corpus_fig1_summary
+from repro.learn.ensemble import RandomForestClassifier
+from repro.onnxlite.runtime import InferenceSession
+from repro.relational.logical import find_predict_nodes
+from repro.tensor.runtime import gpu_runtime
+
+MEASURE_REPEATS = 3
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1 — pipeline-corpus statistics
+# ---------------------------------------------------------------------------
+
+def fig1_report(n_pipelines: int = 120, seed: int = 7) -> ReportTable:
+    """Boxplot statistics over the synthetic pipeline corpus (Fig. 1)."""
+    corpus = generate_corpus(n_pipelines=n_pipelines, seed=seed,
+                             eval_rows=200)
+    summaries = corpus_fig1_summary([entry.graph for entry in corpus])
+    table = ReportTable(
+        title=f"Fig. 1 — statistics over {n_pipelines} trained pipelines",
+        columns=["metric", "min", "p25", "median", "p75", "max"],
+    )
+    for summary in summaries:
+        table.add(**summary.row())
+    table.note("paper: 508 OpenML CC-18 pipelines; here: synthetic corpus "
+               "with matched marginals (DESIGN.md §2)")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — dataset statistics
+# ---------------------------------------------------------------------------
+
+def table1_report(rows_for_stats: int = 30_000) -> ReportTable:
+    """Dataset statistics at full cardinality scale (Table 1)."""
+    table = ReportTable(
+        title="Table 1 — dataset statistics",
+        columns=["dataset", "tables", "inputs", "numeric", "categorical",
+                 "features_after_encoding"],
+    )
+    from repro.datasets import DATASET_GENERATORS
+    for name, generator in DATASET_GENERATORS.items():
+        kwargs = {"cardinality_scale": 1.0} if name in ("expedia", "flights") \
+            else {}
+        dataset = generator(rows_for_stats, seed=0, **kwargs)
+        numeric, categorical = dataset.encoded_feature_count()
+        table.add(dataset=name, tables=len(dataset.tables),
+                  inputs=dataset.n_inputs,
+                  numeric=len(dataset.numeric_inputs),
+                  categorical=len(dataset.categorical_inputs),
+                  features_after_encoding=numeric + categorical)
+    table.note("paper reference: 28 / 59 / 3965 / 6475 features")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Corpus runtime measurement (shared by Fig. 4 and strategy training)
+# ---------------------------------------------------------------------------
+
+def measure_corpus_runtimes(entries: Sequence[CorpusEntry],
+                            repeats: int = 2,
+                            gpu: bool = True) -> Tuple[np.ndarray, np.ndarray]:
+    """(feature matrix, runtimes[pipeline, choice]) over {none, sql, dnn}.
+
+    ``none`` and ``sql`` are measured on this host. ``dnn`` depends on the
+    hardware the strategy is being trained for (paper §5.2: "adapt to the
+    specific hardware in hand"): with ``gpu=True`` it uses the simulated-GPU
+    device model (the paper measured on P100 instances); with ``gpu=False``
+    it measures MLtoDNN on the CPU tensor runtime, matching the paper's
+    CPU-cluster experiments where "MLtoDNN is never picked". Untranslatable
+    pipelines get +inf for that choice, as the paper's protocol excludes
+    them from that option.
+    """
+    from repro.tensor.runtime import cpu_runtime
+    features = np.vstack([feature_vector(entry.graph) for entry in entries])
+    runtimes = np.full((len(entries), len(CHOICES)), np.inf)
+    dnn_runtime = gpu_runtime() if gpu else cpu_runtime()
+    for index, entry in enumerate(entries):
+        inputs = {name: entry.eval_table.array(name)
+                  for name in entry.input_columns}
+        session = InferenceSession(entry.graph)
+        runtimes[index, CHOICES.index("none")] = timed(
+            lambda: session.run(inputs, ["score"]), repeats=repeats,
+            trimmed=False)
+        try:
+            expressions = graph_to_expressions(
+                entry.graph, {name: name for name in entry.input_columns})
+            score = expressions["score"]
+            runtimes[index, CHOICES.index("sql")] = timed(
+                lambda: score.evaluate(entry.eval_table), repeats=repeats,
+                trimmed=False)
+        except UnsupportedOperatorError:
+            pass
+        try:
+            if gpu:
+                result = dnn_runtime.run(entry.graph, inputs)
+                runtimes[index, CHOICES.index("dnn")] = result.seconds
+            else:
+                runtimes[index, CHOICES.index("dnn")] = timed(
+                    lambda: dnn_runtime.run(entry.graph, inputs),
+                    repeats=repeats, trimmed=False)
+        except UnsupportedOperatorError:
+            pass
+    return features, runtimes
+
+
+@lru_cache(maxsize=None)
+def _corpus_measurements(n_pipelines: int, seed: int, eval_rows: int,
+                         gpu: bool) -> Tuple[tuple, tuple, tuple]:
+    corpus = generate_corpus(n_pipelines=n_pipelines, seed=seed,
+                             eval_rows=eval_rows)
+    features, runtimes = measure_corpus_runtimes(corpus, gpu=gpu)
+    return (tuple(map(tuple, features)), tuple(map(tuple, runtimes)),
+            tuple(entry.kind for entry in corpus))
+
+
+def corpus_measurements(n_pipelines: int = 60, seed: int = 7,
+                        eval_rows: int = 20_000,
+                        gpu: bool = True) -> Tuple[np.ndarray, np.ndarray]:
+    """Cached (features, runtimes) for the strategy-training corpus."""
+    features, runtimes, _ = _corpus_measurements(n_pipelines, seed,
+                                                 eval_rows, gpu)
+    return np.asarray(features), np.asarray(runtimes)
+
+
+@lru_cache(maxsize=None)
+def trained_classification_strategy(n_pipelines: int = 60, seed: int = 7,
+                                    gpu: bool = False
+                                    ) -> ClassificationStrategy:
+    """The strategy the end-to-end experiments use (paper §7.1).
+
+    Trained for the hardware at hand: the CPU-only end-to-end experiments
+    (Fig. 6-8) use ``gpu=False`` so the dnn option reflects MLtoDNN-on-CPU.
+    """
+    features, runtimes = corpus_measurements(n_pipelines, seed, gpu=gpu)
+    strategy = ClassificationStrategy(n_estimators=60, random_state=0)
+    strategy.fit(features, runtimes)
+    return strategy
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — strategy speedup optimality
+# ---------------------------------------------------------------------------
+
+def fig4_report(n_pipelines: int = 60, repeats: int = 10,
+                seed: int = 7) -> ReportTable:
+    """Strategy evaluation under the stratified-fold protocol (Fig. 4).
+
+    The paper runs 5 folds x 40 repeats = 200 runs over 138 pipelines;
+    default here is 5 x 10 = 50 runs over 60 pipelines (RAVEN_SCALE-
+    independent; raise ``repeats``/``n_pipelines`` for the full protocol).
+    """
+    features, runtimes = corpus_measurements(n_pipelines, seed)
+    factories = {
+        "ML-informed rule-based": lambda: MLInformedRuleStrategy(),
+        "Classification-based": lambda: ClassificationStrategy(
+            n_estimators=40, random_state=0),
+        "Regression-based": lambda: RegressionStrategy(),
+    }
+    table = ReportTable(
+        title=f"Fig. 4 — speedup optimality ({5 * repeats} runs, "
+              f"{n_pipelines} pipelines)",
+        columns=["strategy", "mean_accuracy", "speedup_min", "speedup_p25",
+                 "speedup_median", "speedup_p75", "speedup_max"],
+    )
+    for name, factory in factories.items():
+        evaluation = evaluate_strategy(factory, features, runtimes,
+                                       repeats=repeats, name=name)
+        pct = evaluation.speedup_percentiles()
+        table.add(strategy=name, mean_accuracy=evaluation.mean_accuracy,
+                  speedup_min=pct["min"], speedup_p25=pct["p25"],
+                  speedup_median=pct["median"], speedup_p75=pct["p75"],
+                  speedup_max=pct["max"])
+    balance = class_balance(runtimes)
+    table.note(f"class balance (best choice): {balance} "
+               "(paper: sql=25, dnn=72, none=41)")
+    table.note("paper accuracies: rule 0.76, classification 0.79, "
+               "regression 0.79; classification has lowest variance")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — end-to-end comparison on the Spark-like engine
+# ---------------------------------------------------------------------------
+
+def _engine_join_seconds(workload: Workload, repeats: int) -> Tuple[float, object]:
+    """Time for the data-processing part alone (what baselines also pay)."""
+    session = RavenSession(enable_optimizations=False)
+    workload.dataset.register(session)
+    if workload.dataset.join_spec:
+        query = (f"WITH data AS ({workload.dataset.data_cte()}) "
+                 f"SELECT * FROM data AS d")
+    else:
+        query = f"SELECT * FROM {workload.dataset.fact_table} AS d"
+    seconds = timed_session_query(session, query, repeats=repeats)
+    joined = session.sql(query)
+    return seconds, joined
+
+_ROWWISE_CAP = 20_000
+
+
+def fig6_report(datasets: Optional[Sequence[str]] = None,
+                models: Sequence[str] = FIG6_MODELS,
+                repeats: int = MEASURE_REPEATS) -> ReportTable:
+    """Raven vs SparkML-like vs Spark+SKL-like vs Raven(no-opt) (Fig. 6)."""
+    datasets = list(datasets or BASE_ROWS.keys())
+    strategy = trained_classification_strategy()
+    table = ReportTable(
+        title="Fig. 6 — prediction query runtime (seconds)",
+        columns=["dataset", "model", "sparkml", "spark_skl", "raven_noopt",
+                 "raven", "speedup_vs_noopt"],
+    )
+    for dataset_name in datasets:
+        for model_kind in models:
+            workload = build_workload(dataset_name, model_kind)
+            join_seconds, joined = _engine_join_seconds(workload, repeats)
+
+            # SparkML-like: row-at-a-time scoring (capped + extrapolated).
+            rowwise = RowwisePipelineExecutor(workload.pipeline)
+            cap = min(_ROWWISE_CAP, joined.num_rows)
+            sample = joined.slice(0, cap)
+            row_seconds = timed(lambda: rowwise.score(sample),
+                                repeats=max(2, repeats - 1), trimmed=False)
+            sparkml = join_seconds + row_seconds * (joined.num_rows / max(cap, 1))
+
+            # Spark+SKL-like: batched UDF over the learn pipeline.
+            udf = SklearnUdfExecutor(workload.pipeline)
+            skl = join_seconds + timed(lambda: udf.score(joined),
+                                       repeats=repeats, trimmed=False)
+
+            noopt_session = workload.make_session(enable_optimizations=False)
+            noopt = timed_session_query(noopt_session, workload.query,
+                                        repeats=repeats)
+            raven_session = workload.make_session(strategy=strategy)
+            raven = timed_session_query(raven_session, workload.query,
+                                        repeats=repeats)
+            table.add(dataset=dataset_name, model=model_kind, sparkml=sparkml,
+                      spark_skl=skl, raven_noopt=noopt, raven=raven,
+                      speedup_vs_noopt=noopt / raven if raven else float("inf"))
+    table.note(f"SparkML-like scored on {_ROWWISE_CAP} rows and extrapolated "
+               "linearly (row-at-a-time execution is linear in rows)")
+    table.note("paper: Raven 1.4-13.1x vs no-opt; up to 48x vs SparkML, "
+               "2.15-25.3x vs Spark+SKL")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — data scalability
+# ---------------------------------------------------------------------------
+
+def fig7_report(sizes: Optional[Sequence[int]] = None,
+                repeats: int = MEASURE_REPEATS) -> ReportTable:
+    """Raven vs no-opt on Hospital for growing row counts (Fig. 7)."""
+    sizes = list(sizes or [scaled(base) for base in
+                           (25_000, 75_000, 200_000, 600_000)])
+    strategy = trained_classification_strategy()
+    table = ReportTable(
+        title="Fig. 7 — Hospital scalability (seconds)",
+        columns=["rows", "model", "raven_noopt", "raven", "speedup"],
+    )
+    for model_kind in ("lr", "gb"):
+        base = build_workload("hospital", model_kind)
+        for n_rows in sizes:
+            dataset = load_dataset("hospital", rows=int(n_rows))
+            workload = Workload(dataset=dataset, pipeline=base.pipeline,
+                                model_name=base.model_name,
+                                query=dataset.prediction_query(base.model_name))
+            noopt = timed_session_query(
+                workload.make_session(enable_optimizations=False),
+                workload.query, repeats=repeats)
+            raven = timed_session_query(
+                workload.make_session(strategy=strategy),
+                workload.query, repeats=repeats)
+            table.add(rows=int(n_rows), model=model_kind, raven_noopt=noopt,
+                      raven=raven, speedup=noopt / raven if raven else 0.0)
+    table.note("paper: 1.96-4.36x (LR), 1.37-1.67x (GB), consistent across sizes")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — SQL Server-style DOP comparison + MADlib
+# ---------------------------------------------------------------------------
+
+def fig8_report(datasets: Optional[Sequence[str]] = None,
+                models: Sequence[str] = FIG6_MODELS,
+                dops: Sequence[int] = (1, 16),
+                repeats: int = MEASURE_REPEATS) -> ReportTable:
+    """Unoptimized vs Raven plans at DOP 1/16, plus MADlib (Fig. 8)."""
+    datasets = list(datasets or BASE_ROWS.keys())
+    strategy = trained_classification_strategy()
+    table = ReportTable(
+        title="Fig. 8 — SQL Server-style execution (seconds, aggregate query)",
+        columns=["dataset", "model", "unopt_dop1", "unopt_dop16",
+                 "raven_dop1", "raven_dop16", "madlib"],
+    )
+    for dataset_name in datasets:
+        for model_kind in models:
+            workload = build_workload(dataset_name, model_kind, aggregate=True)
+            row: Dict[str, object] = {"dataset": dataset_name,
+                                      "model": model_kind}
+            for dop in dops:
+                unopt = workload.make_session(enable_optimizations=False,
+                                              dop=dop)
+                row[f"unopt_dop{dop}"] = timed_session_query(
+                    unopt, workload.query, repeats=repeats)
+                raven = workload.make_session(strategy=strategy, dop=dop)
+                row[f"raven_dop{dop}"] = timed_session_query(
+                    raven, workload.query, repeats=repeats)
+            row["madlib"] = _madlib_seconds(dataset_name, model_kind, repeats)
+            table.add(**row)
+    table.note("MADlib substitutes RF for GB (only supported ensemble) and "
+               "skips Expedia/Flights (PostgreSQL 1600-column limit at full "
+               "encoding width), as in the paper")
+    table.note("paper: Raven 1.4-330x vs unoptimized; 3.9-108x vs MADlib "
+               "single-threaded")
+    return table
+
+
+def _full_scale_width(dataset_name: str) -> int:
+    if dataset_name == "expedia":
+        return 8 + sum(expedia.scaled_cardinalities(1.0).values())
+    if dataset_name == "flights":
+        cards = 0
+        for _col, _table, card, _scalable in flights._CATEGORICAL_SPEC:
+            cards += card
+        return 4 + cards
+    dataset = load_dataset(dataset_name)
+    numeric, categorical = dataset.encoded_feature_count()
+    return numeric + categorical
+
+
+def _madlib_seconds(dataset_name: str, model_kind: str,
+                    repeats: int) -> object:
+    from repro.baselines.madlib import POSTGRES_MAX_COLUMNS
+    if _full_scale_width(dataset_name) > POSTGRES_MAX_COLUMNS:
+        return "skip(>1600 cols)"
+    kind = "rf" if model_kind == "gb" else model_kind  # paper's substitution
+    workload = build_workload(dataset_name, kind)
+    _join_seconds, joined = _engine_join_seconds(workload, repeats)
+    executor = MadlibExecutor(workload.pipeline)
+    try:
+        return _join_seconds + timed(lambda: executor.score(joined),
+                                     repeats=repeats, trimmed=False)
+    except TooManyColumnsError:
+        return "skip(>1600 cols)"
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — linear models vs regularization strength
+# ---------------------------------------------------------------------------
+
+FIG9_ALPHAS = (2.0, 0.5, 0.1, 0.02, 0.005)
+
+
+def fig9_report(alphas: Sequence[float] = FIG9_ALPHAS,
+                repeats: int = MEASURE_REPEATS) -> ReportTable:
+    """Rule combinations on Credit Card LR as L1 strength varies (Fig. 9)."""
+    table = ReportTable(
+        title="Fig. 9 — Credit Card LR, varying L1 regularization (seconds)",
+        columns=["alpha", "zero_weights", "raven_noopt", "modelproj",
+                 "mltosql", "modelproj_mltosql", "modelproj_mltodnn"],
+    )
+    for alpha in alphas:
+        workload = build_workload("creditcard", "lr", C=float(alpha))
+        model = workload.pipeline.final_estimator
+        zero_weights = int(np.sum(model.coef_ == 0.0))
+        combos = {
+            "raven_noopt": dict(enable_optimizations=False),
+            "modelproj": dict(enable_cross=True, enable_data_induced=False,
+                              strategy="none"),
+            "mltosql": dict(enable_cross=False, enable_data_induced=False,
+                            strategy="sql"),
+            "modelproj_mltosql": dict(enable_cross=True,
+                                      enable_data_induced=False,
+                                      strategy="sql"),
+            "modelproj_mltodnn": dict(enable_cross=True,
+                                      enable_data_induced=False,
+                                      strategy="dnn", gpu_available=False),
+        }
+        row: Dict[str, object] = {"alpha": alpha, "zero_weights": zero_weights}
+        for name, kwargs in combos.items():
+            session = workload.make_session(**kwargs)
+            row[name] = timed_session_query(session, workload.query,
+                                            repeats=repeats)
+        table.add(**row)
+    table.note("paper: ModelProj+MLtoSQL best everywhere; ModelProj alone "
+               "20%-105% of baseline as sparsity varies; MLtoSQL alone ~60%")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — decision trees vs depth
+# ---------------------------------------------------------------------------
+
+FIG10_DEPTHS = (3, 5, 10, 15, 20)
+
+
+def fig10_report(depths: Sequence[int] = FIG10_DEPTHS,
+                 repeats: int = MEASURE_REPEATS) -> ReportTable:
+    """Rule combinations on Hospital DT as depth varies (Fig. 10)."""
+    table = ReportTable(
+        title="Fig. 10 — Hospital DT, varying depth (seconds)",
+        columns=["depth", "unused_columns", "raven_noopt", "modelproj",
+                 "mltosql", "modelproj_mltosql", "modelproj_mltodnn"],
+    )
+    for depth in depths:
+        workload = build_workload("hospital", "dt", max_depth=int(depth))
+        unused = _unused_input_columns(workload)
+        combos = {
+            "raven_noopt": dict(enable_optimizations=False),
+            "modelproj": dict(enable_cross=True, enable_data_induced=False,
+                              strategy="none"),
+            "mltosql": dict(enable_cross=False, enable_data_induced=False,
+                            strategy="sql"),
+            "modelproj_mltosql": dict(enable_cross=True,
+                                      enable_data_induced=False,
+                                      strategy="sql"),
+            "modelproj_mltodnn": dict(enable_cross=True,
+                                      enable_data_induced=False,
+                                      strategy="dnn", gpu_available=False),
+        }
+        row: Dict[str, object] = {"depth": int(depth),
+                                  "unused_columns": unused}
+        for name, kwargs in combos.items():
+            session = workload.make_session(**kwargs)
+            row[name] = timed_session_query(session, workload.query,
+                                            repeats=repeats)
+        table.add(**row)
+    table.note("paper: MLtoSQL 21.7x speedup at depth 3, 2.3x slowdown at "
+               "depth 20; ModelProj fades as depth grows")
+    return table
+
+
+def _unused_input_columns(workload: Workload) -> int:
+    """Input columns the model never uses (Fig. 10's parenthesized counts)."""
+    from repro.core.rules.projection_pushdown import pushdown_graph
+    graph = workload.make_session().catalog.model(workload.model_name).graph
+    copy = graph.copy()
+    removed, _info = pushdown_graph(copy)
+    return len(removed)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 + Table 2 — data-induced optimizations
+# ---------------------------------------------------------------------------
+
+FIG11_DEPTHS = (10, 15, 20)
+
+
+def fig11_table2_report(depths: Sequence[int] = FIG11_DEPTHS,
+                        repeats: int = MEASURE_REPEATS
+                        ) -> Tuple[ReportTable, ReportTable]:
+    """Data-induced optimization with two partitioning schemes (Fig. 11),
+    plus the pruned-column counts (Table 2)."""
+    timing = ReportTable(
+        title="Fig. 11 — Hospital DT with data-induced optimizations (seconds)",
+        columns=["depth", "raven_noopt", "raven_no_partition",
+                 "raven_part_num_issues", "raven_part_rcount"],
+    )
+    pruned = ReportTable(
+        title="Table 2 — columns pruned by the data-induced optimization",
+        columns=["depth", "no_partitioning", "partition_num_issues",
+                 "partition_rcount"],
+    )
+    # The deterministic paper rule keeps the physical choice fixed across
+    # depths (sql for shallow, none for deep), isolating the data-induced
+    # effect the figure is about.
+    from repro.core.strategies import DefaultPaperRule
+    strategy = DefaultPaperRule(gpu_available=False)
+    for depth in depths:
+        workload = build_workload("hospital", "dt", max_depth=int(depth))
+        timing_row: Dict[str, object] = {"depth": int(depth)}
+        pruned_row: Dict[str, object] = {"depth": int(depth)}
+
+        noopt = workload.make_session(enable_optimizations=False)
+        timing_row["raven_noopt"] = timed_session_query(
+            noopt, workload.query, repeats=repeats)
+
+        flat = workload.make_session(strategy=strategy)
+        timing_row["raven_no_partition"] = timed_session_query(
+            flat, workload.query, repeats=repeats)
+        pruned_row["no_partitioning"] = _pruned_columns(flat, workload)
+
+        for column in ("num_issues", "rcount"):
+            session = RavenSession(strategy=strategy)
+            workload.dataset.register(session, partition_column=column)
+            session.register_model(workload.model_name, workload.pipeline,
+                                   replace=True)
+            timing_row[f"raven_part_{column}"] = timed_session_query(
+                session, workload.query, repeats=repeats)
+            pruned_row[f"partition_{column}"] = _pruned_columns(
+                session, workload)
+        timing.add(**timing_row)
+        pruned.add(**pruned_row)
+    timing.note("paper: ~20% gain at depth 15/20; 2.1-3.2x at depth 10 "
+                "vs no-opt")
+    pruned.note("paper Table 2: depth 10 -> 4/8/11; depth 15 -> 0/6/5; "
+                "depth 20 -> 0/6/5 pruned columns")
+    return timing, pruned
+
+
+def _pruned_columns(session: RavenSession, workload: Workload) -> float:
+    """Average input columns removed by optimization (Table 2's metric)."""
+    plan, report = session.optimize(workload.query)
+    original = len(workload.make_session().catalog
+                   .model(workload.model_name).graph.inputs)
+    info = report.rule_info.get("data_induced_optimization", {})
+    if "avg_pruned_columns" in info:
+        return float(info["avg_pruned_columns"])
+    predicts = find_predict_nodes(plan)
+    if predicts:
+        return float(original - len(predicts[0].graph.inputs))
+    # MLtoSQL removed the Predict; count via a fresh pushdown instead.
+    return float(_unused_input_columns(workload))
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — GPU acceleration of complex models
+# ---------------------------------------------------------------------------
+
+FIG12_MODELS: Tuple[Tuple[int, int], ...] = ((60, 5), (100, 4), (100, 8),
+                                             (500, 8))
+
+
+def fig12_report(configs: Sequence[Tuple[int, int]] = FIG12_MODELS,
+                 repeats: int = MEASURE_REPEATS) -> ReportTable:
+    """MLtoDNN on CPU and simulated GPU for complex GB models (Fig. 12)."""
+    table = ReportTable(
+        title="Fig. 12 — complex GB models on Hospital (seconds)",
+        columns=["estimators", "depth", "raven_noopt", "mltodnn_cpu",
+                 "mltodnn_gpu_simulated", "gpu_speedup"],
+    )
+    for estimators, depth in configs:
+        workload = build_workload("hospital", "gb",
+                                  n_estimators=int(estimators),
+                                  max_depth=int(depth))
+        noopt = timed_session_query(
+            workload.make_session(enable_optimizations=False),
+            workload.query, repeats=repeats)
+        cpu = timed_session_query(
+            workload.make_session(enable_cross=False,
+                                  enable_data_induced=False,
+                                  strategy="dnn", gpu_available=False),
+            workload.query, repeats=repeats)
+        gpu = timed_session_query(
+            workload.make_session(enable_cross=False,
+                                  enable_data_induced=False,
+                                  strategy="dnn", gpu_available=True),
+            workload.query, repeats=repeats)
+        table.add(estimators=int(estimators), depth=int(depth),
+                  raven_noopt=noopt, mltodnn_cpu=cpu,
+                  mltodnn_gpu_simulated=gpu,
+                  gpu_speedup=noopt / gpu if gpu else 0.0)
+    table.note("GPU column is SIMULATED (roofline device model, DESIGN.md §2)")
+    table.note("paper: 1.56-7.96x GPU speedups, growing with model "
+               "complexity; MLtoDNN-CPU 1.08-1.33x for the largest models")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# §7.4 — accuracy, coverage, optimization overheads
+# ---------------------------------------------------------------------------
+
+def _label_mismatch_rate(predicted: np.ndarray,
+                         reference: np.ndarray) -> float:
+    """Fraction of differing labels, numeric-aware (1.0 == 1)."""
+    predicted = np.asarray(predicted).ravel()
+    reference = np.asarray(reference).ravel()
+    if reference.dtype.kind in "fiub" and predicted.dtype.kind in "fiub":
+        return float(np.mean(predicted.astype(np.float64)
+                             != reference.astype(np.float64)))
+    return float(np.mean(predicted.astype(np.str_)
+                         != reference.astype(np.str_)))
+
+
+def accuracy_report(n_pipelines: int = 30, seed: int = 11,
+                    eval_rows: int = 20_000) -> ReportTable:
+    """Prediction agreement of MLtoSQL / MLtoDNN vs the ML runtime (§7.4)."""
+    corpus = generate_corpus(n_pipelines=n_pipelines, seed=seed,
+                             eval_rows=eval_rows)
+    gpu = gpu_runtime()
+    sql_mismatches: List[float] = []
+    dnn_mismatches: List[float] = []
+    for entry in corpus:
+        inputs = {name: entry.eval_table.array(name)
+                  for name in entry.input_columns}
+        reference = InferenceSession(entry.graph).run(inputs, ["label", "score"])
+        try:
+            expressions = graph_to_expressions(
+                entry.graph, {name: name for name in entry.input_columns})
+            sql_labels = expressions["label"].evaluate(entry.eval_table)
+            sql_mismatches.append(_label_mismatch_rate(sql_labels,
+                                                       reference["label"]))
+        except UnsupportedOperatorError:
+            pass
+        result = gpu.run(entry.graph, inputs)
+        dnn_mismatches.append(_label_mismatch_rate(result.outputs["label"],
+                                                   reference["label"]))
+    table = ReportTable(
+        title=f"§7.4 — prediction agreement over {n_pipelines} models",
+        columns=["transformation", "models", "mean_mismatch_pct",
+                 "max_mismatch_pct"],
+    )
+    table.add(transformation="MLtoSQL", models=len(sql_mismatches),
+              mean_mismatch_pct=100 * float(np.mean(sql_mismatches)),
+              max_mismatch_pct=100 * float(np.max(sql_mismatches)))
+    table.add(transformation="MLtoDNN", models=len(dnn_mismatches),
+              mean_mismatch_pct=100 * float(np.mean(dnn_mismatches)),
+              max_mismatch_pct=100 * float(np.max(dnn_mismatches)))
+    table.note("paper: MLtoSQL 0.006-0.3% rounding mismatches, MLtoDNN "
+               "<0.8%; this reproduction is float64 end-to-end, so "
+               "mismatch rates are lower")
+    return table
+
+
+def coverage_report(n_pipelines: int = 60, seed: int = 7) -> ReportTable:
+    """Operator coverage of the IR and the two transformations (§7.4)."""
+    from repro.core.rules.ml_to_dnn import is_dnn_compilable
+    corpus = generate_corpus(n_pipelines=n_pipelines, seed=seed, eval_rows=100)
+    sql_ok = 0
+    dnn_ok = 0
+    for entry in corpus:
+        try:
+            graph_to_expressions(entry.graph,
+                                 {n: n for n in entry.input_columns})
+            sql_ok += 1
+        except UnsupportedOperatorError:
+            pass
+        dnn_ok += is_dnn_compilable(entry.graph)
+    table = ReportTable(
+        title=f"§7.4 — optimization coverage over {n_pipelines} pipelines",
+        columns=["capability", "covered", "total", "pct"],
+    )
+    table.add(capability="unified IR", covered=n_pipelines, total=n_pipelines,
+              pct=100.0)
+    table.add(capability="MLtoSQL", covered=sql_ok, total=n_pipelines,
+              pct=100.0 * sql_ok / n_pipelines)
+    table.add(capability="MLtoDNN", covered=dnn_ok, total=n_pipelines,
+              pct=100.0 * dnn_ok / n_pipelines)
+    table.note("paper: IR 100%, MLtoSQL missing 4 operators, MLtoDNN 88%; "
+               "the synthetic corpus only emits supported operators, so "
+               "coverage here is an upper bound")
+    return table
+
+
+def overheads_report(repeats: int = 3) -> ReportTable:
+    """Optimization-time overheads per rule (§7.4's discussion)."""
+    table = ReportTable(
+        title="§7.4 — optimization overheads (seconds per optimize() call)",
+        columns=["dataset", "model", "optimize_seconds"],
+    )
+    for dataset_name, model_kind in (("creditcard", "lr"), ("hospital", "dt"),
+                                     ("hospital", "gb"), ("expedia", "dt")):
+        workload = build_workload(dataset_name, model_kind)
+        session = workload.make_session(
+            strategy=trained_classification_strategy())
+        seconds = timed(lambda: session.optimize(workload.query),
+                        repeats=repeats, trimmed=False)
+        table.add(dataset=dataset_name, model=model_kind,
+                  optimize_seconds=seconds)
+    table.note("paper: ModelProj 1-5s, MLtoSQL 3-5s, MLtoDNN 0.1-0.5s on "
+               "warm runs; ~1M rows amortize the overhead")
+    return table

@@ -1,0 +1,17 @@
+"""Raven's core: parser, binder, optimizer, strategies, session.
+
+This package is the paper's primary contribution — the co-optimizer for
+prediction queries — assembled from the rules in ``repro.core.rules`` and
+the strategies in ``repro.core.strategies``.
+"""
+
+from repro.core.binder import Binder, bind
+from repro.core.executor import PredictRuntime, QueryExecutor
+from repro.core.optimizer import OptimizationReport, RavenOptimizer
+from repro.core.parser import parse
+from repro.core.session import RavenSession, RunStats
+
+__all__ = [
+    "Binder", "OptimizationReport", "PredictRuntime", "QueryExecutor",
+    "RavenOptimizer", "RavenSession", "RunStats", "bind", "parse",
+]

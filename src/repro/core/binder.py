@@ -1,0 +1,318 @@
+"""Binder: resolve a parsed AST into a bound logical plan.
+
+Responsibilities:
+
+* name resolution — every column reference becomes a fully-qualified plan
+  column (``alias.column``); unqualified names resolve by unique suffix;
+* PREDICT binding — the model graph is fetched from the catalog, its input
+  names are matched to data columns, and its outputs are bound to the
+  ``WITH (name type)`` declarations;
+* select-list shaping — stars, aliases, aggregates, ordering, limits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import CatalogError, PlanError
+from repro.core.parser import (
+    AggregateCall,
+    FromSource,
+    JoinClause,
+    PredictRef,
+    SelectItem,
+    SelectStmt,
+    Star,
+    SubqueryRef,
+    TableRef,
+)
+from repro.relational.expressions import (
+    ColumnRef,
+    Expression,
+    transform_expression,
+)
+from repro.relational.logical import (
+    Aggregate,
+    AggregateSpec,
+    Filter,
+    Join,
+    Limit,
+    PlanNode,
+    Predict,
+    Project,
+    Scan,
+    Sort,
+)
+from repro.storage.catalog import Catalog
+
+
+class Binder:
+    """Binds one statement against a catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self._ctes: Dict[str, PlanNode] = {}
+
+    # ------------------------------------------------------------------
+    def bind(self, statement: SelectStmt) -> PlanNode:
+        for name, cte_stmt in statement.ctes:
+            # CTEs may reference earlier CTEs.
+            self._ctes[name] = self.bind_select(cte_stmt)
+        return self.bind_select(statement)
+
+    # ------------------------------------------------------------------
+    def bind_select(self, statement: SelectStmt) -> PlanNode:
+        plan = self._bind_source(statement.source)
+        for join in statement.joins:
+            plan = self._bind_join(plan, join)
+        visible = self._visible_columns(plan)
+
+        if statement.where is not None:
+            predicate = self._resolve_expression(statement.where, visible)
+            plan = Filter(plan, predicate)
+
+        has_aggregates = statement.group_by or any(
+            isinstance(item.value, AggregateCall) for item in statement.items)
+        if has_aggregates:
+            plan = self._bind_aggregate(plan, statement, visible)
+        else:
+            plan = self._bind_projection(plan, statement.items, visible)
+
+        if statement.order_by:
+            output_names = plan.output_schema(self.catalog).names
+            keys = [(self._resolve_name(column, output_names), ascending)
+                    for column, ascending in statement.order_by]
+            plan = Sort(plan, keys)
+        if statement.limit is not None:
+            plan = Limit(plan, statement.limit)
+        return plan
+
+    # ------------------------------------------------------------------
+    # FROM sources
+    # ------------------------------------------------------------------
+    def _bind_source(self, source: FromSource) -> PlanNode:
+        if isinstance(source, TableRef):
+            if source.name in self._ctes:
+                return _realias(self._ctes[source.name], source.alias, self.catalog)
+            if not self.catalog.has_table(source.name):
+                raise CatalogError(f"unknown table or CTE: {source.name!r}")
+            return Scan(source.name, source.alias)
+        if isinstance(source, SubqueryRef):
+            inner = Binder(self.catalog)._with_ctes(self._ctes).bind(source.stmt)
+            return _realias(inner, source.alias, self.catalog)
+        if isinstance(source, PredictRef):
+            return self._bind_predict(source)
+        raise PlanError(f"unknown FROM source: {type(source).__name__}")
+
+    def _with_ctes(self, ctes: Dict[str, PlanNode]) -> "Binder":
+        self._ctes.update(ctes)
+        return self
+
+    def _bind_join(self, left: PlanNode, join: JoinClause) -> PlanNode:
+        right = self._bind_source(join.source)
+        left_names = left.output_schema(self.catalog).names
+        right_names = right.output_schema(self.catalog).names
+        left_keys, right_keys = [], []
+        for a, b in join.conditions:
+            resolved_a, side_a = self._resolve_either(a, left_names, right_names)
+            resolved_b, side_b = self._resolve_either(b, left_names, right_names)
+            if side_a == side_b:
+                raise PlanError(
+                    f"join condition {a} = {b} does not reference both sides"
+                )
+            if side_a == "left":
+                left_keys.append(resolved_a)
+                right_keys.append(resolved_b)
+            else:
+                left_keys.append(resolved_b)
+                right_keys.append(resolved_a)
+        return Join(left, right, left_keys, right_keys, join.how)
+
+    def _resolve_either(self, name: str, left_names: List[str],
+                        right_names: List[str]) -> Tuple[str, str]:
+        in_left = _suffix_matches(name, left_names)
+        in_right = _suffix_matches(name, right_names)
+        if len(in_left) + len(in_right) == 0:
+            raise PlanError(f"unknown column in join condition: {name!r}")
+        if len(in_left) + len(in_right) > 1:
+            raise PlanError(f"ambiguous column in join condition: {name!r}")
+        if in_left:
+            return in_left[0], "left"
+        return in_right[0], "right"
+
+    # ------------------------------------------------------------------
+    # PREDICT
+    # ------------------------------------------------------------------
+    def _bind_predict(self, ref: PredictRef) -> Predict:
+        data_plan = self._bind_source(ref.data)
+        data_columns = data_plan.output_schema(self.catalog).names
+        model_entry = self.catalog.model(ref.model)
+        graph = model_entry.graph
+
+        input_mapping: Dict[str, str] = {}
+        for info in graph.inputs:
+            matches = _suffix_matches(info.name, data_columns)
+            if not matches:
+                raise CatalogError(
+                    f"model input {info.name!r} not found among data columns "
+                    f"{data_columns[:8]}..."
+                )
+            if len(matches) > 1:
+                raise CatalogError(
+                    f"model input {info.name!r} is ambiguous: {matches}"
+                )
+            input_mapping[info.name] = matches[0]
+
+        # Bind WITH columns to graph outputs: by name first, then by position.
+        remaining = [name for name in graph.outputs]
+        output_columns = []
+        for column, dtype in ref.with_columns:
+            if column in remaining:
+                graph_output = column
+            elif remaining:
+                graph_output = remaining[0]
+            else:
+                raise CatalogError(
+                    f"no graph output left to bind WITH column {column!r}"
+                )
+            remaining.remove(graph_output)
+            output_columns.append((f"{ref.alias}.{column}", graph_output, dtype))
+
+        return Predict(
+            child=data_plan,
+            model_name=ref.model,
+            graph=graph,
+            input_mapping=input_mapping,
+            output_columns=output_columns,
+        )
+
+    # ------------------------------------------------------------------
+    # Select list
+    # ------------------------------------------------------------------
+    def _bind_projection(self, plan: PlanNode, items: List[SelectItem],
+                         visible: List[str]) -> PlanNode:
+        visible = self._visible_columns(plan)
+        outputs: List[Tuple[str, Expression]] = []
+        taken: Dict[str, int] = {}
+
+        def emit(name: str, expression: Expression) -> None:
+            base = name
+            while name in taken:
+                taken[base] += 1
+                name = f"{base}_{taken[base]}"
+            taken.setdefault(name, 1)
+            outputs.append((name, expression))
+
+        for item in items:
+            value = item.value
+            if isinstance(value, Star):
+                selected = visible if value.qualifier is None else [
+                    column for column in visible
+                    if column.startswith(f"{value.qualifier}.")
+                ]
+                if not selected:
+                    raise PlanError(f"star matched no columns: {value.qualifier}.*")
+                for column in selected:
+                    emit(column.split(".", 1)[-1], ColumnRef(column))
+                continue
+            if isinstance(value, AggregateCall):
+                raise PlanError("aggregate outside aggregate context")
+            expression = self._resolve_expression(value, visible)
+            if item.alias:
+                emit(item.alias, expression)
+            elif isinstance(expression, ColumnRef):
+                emit(expression.name.split(".", 1)[-1], expression)
+            else:
+                emit(f"col{len(outputs) + 1}", expression)
+        return Project(plan, outputs)
+
+    def _bind_aggregate(self, plan: PlanNode, statement: SelectStmt,
+                        visible: List[str]) -> PlanNode:
+        visible = self._visible_columns(plan)
+        group_by = [self._resolve_name(column, visible)
+                    for column in statement.group_by]
+        specs: List[AggregateSpec] = []
+        outputs: List[Tuple[str, Expression]] = []
+        for item in statement.items:
+            value = item.value
+            if isinstance(value, AggregateCall):
+                column = None
+                if value.argument is not None:
+                    column = self._resolve_name(value.argument, visible)
+                name = item.alias or value.alias or value.func
+                specs.append(AggregateSpec(name, value.func, column))
+                outputs.append((name, ColumnRef(name)))
+            elif isinstance(value, ColumnRef) or isinstance(value, Expression):
+                if isinstance(value, Star):
+                    raise PlanError("SELECT * cannot be combined with GROUP BY")
+                resolved = self._resolve_expression(value, visible)
+                if not isinstance(resolved, ColumnRef) or \
+                        resolved.name not in group_by:
+                    raise PlanError(
+                        "non-aggregated select items must be GROUP BY columns"
+                    )
+                name = item.alias or resolved.name.split(".", 1)[-1]
+                outputs.append((name, ColumnRef(resolved.name)))
+            else:
+                raise PlanError("SELECT * cannot be combined with aggregates")
+        aggregate = Aggregate(plan, group_by, specs)
+        return Project(aggregate, outputs)
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+    def _visible_columns(self, plan: PlanNode) -> List[str]:
+        return plan.output_schema(self.catalog).names
+
+    def _resolve_name(self, name: str, visible: List[str]) -> str:
+        matches = _suffix_matches(name, visible)
+        if not matches:
+            raise PlanError(
+                f"unknown column {name!r}; visible: {visible[:8]}..."
+            )
+        if len(matches) > 1:
+            raise PlanError(f"ambiguous column {name!r}: {matches}")
+        return matches[0]
+
+    def _resolve_expression(self, expression: Expression,
+                            visible: List[str]) -> Expression:
+        def rewrite(node: Expression) -> Optional[Expression]:
+            if isinstance(node, ColumnRef):
+                return ColumnRef(self._resolve_name(node.name, visible))
+            return None
+
+        return transform_expression(expression, rewrite)
+
+
+def _suffix_matches(name: str, columns: List[str]) -> List[str]:
+    """Columns matching ``name`` exactly or by unqualified suffix."""
+    exact = [column for column in columns if column == name]
+    if exact:
+        return exact
+    return [column for column in columns
+            if column.split(".", 1)[-1] == name]
+
+
+def _realias(plan: PlanNode, alias: str, catalog: Catalog) -> PlanNode:
+    """Expose a subplan's columns under a new alias (``alias.column``).
+
+    Colliding unqualified names (e.g. three ``id`` columns after a
+    three-way ``SELECT *`` join) are deduplicated with numeric suffixes.
+    """
+    names = plan.output_schema(catalog).names
+    outputs: List[Tuple[str, Expression]] = []
+    taken: Dict[str, int] = {}
+    for name in names:
+        base = name.split(".", 1)[-1]
+        exposed = f"{alias}.{base}"
+        while exposed in taken:
+            taken[exposed] += 1
+            exposed = f"{alias}.{base}_{taken[exposed]}"
+        taken.setdefault(exposed, 1)
+        outputs.append((exposed, ColumnRef(name)))
+    return Project(plan, outputs)
+
+
+def bind(statement: SelectStmt, catalog: Catalog) -> PlanNode:
+    """Convenience wrapper."""
+    return Binder(catalog).bind(statement)

@@ -1,0 +1,477 @@
+"""Parser for the Raven prediction-query SQL dialect.
+
+Supports the paper's surface syntax (§2.2 / §6):
+
+.. code-block:: sql
+
+    WITH data AS (SELECT * FROM patient_info AS pi
+                  JOIN pulmonary_test AS pt ON pi.id = pt.id)
+    SELECT d.id, p.score
+    FROM PREDICT(MODEL = covid_risk, DATA = data AS d)
+         WITH (score FLOAT) AS p
+    WHERE d.asthma = 1 AND p.score > 0.8
+
+plus plain SELECT-JOIN-WHERE-GROUP BY-ORDER BY-LIMIT queries. The parser
+produces an AST; :mod:`repro.core.binder` resolves it into a logical plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import ParseError
+from repro.relational.expressions import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    Cast,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    Literal,
+    UnaryOp,
+)
+from repro.core.tokens import Token, TokenStream
+from repro.storage.column import DataType
+
+AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max")
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Star:
+    """``*`` or ``alias.*`` in a select list."""
+
+    qualifier: Optional[str] = None
+
+
+@dataclass
+class AggregateCall:
+    """``func(column)`` or ``COUNT(*)`` in a select list."""
+
+    func: str
+    argument: Optional[str]  # unresolved column name; None = COUNT(*)
+    alias: Optional[str] = None
+
+
+@dataclass
+class SelectItem:
+    value: Union[Expression, Star, AggregateCall]
+    alias: Optional[str] = None
+
+
+@dataclass
+class TableRef:
+    name: str
+    alias: str
+
+
+@dataclass
+class SubqueryRef:
+    stmt: "SelectStmt"
+    alias: str
+
+
+@dataclass
+class PredictRef:
+    """``PREDICT(MODEL = m, DATA = source AS d) WITH (col type, ...) AS p``."""
+
+    model: str
+    data: Union[TableRef, SubqueryRef, "PredictRef"]
+    with_columns: List[Tuple[str, DataType]]
+    alias: str
+
+
+FromSource = Union[TableRef, SubqueryRef, PredictRef]
+
+
+@dataclass
+class JoinClause:
+    source: FromSource
+    conditions: List[Tuple[str, str]]  # (left column name, right column name)
+    how: str = "inner"
+
+
+@dataclass
+class SelectStmt:
+    items: List[SelectItem]
+    source: FromSource
+    joins: List[JoinClause] = field(default_factory=list)
+    where: Optional[Expression] = None
+    group_by: List[str] = field(default_factory=list)
+    order_by: List[Tuple[str, bool]] = field(default_factory=list)
+    limit: Optional[int] = None
+    ctes: List[Tuple[str, "SelectStmt"]] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def parse(sql: str) -> SelectStmt:
+    """Parse one statement; raises :class:`ParseError` with position info."""
+    stream = TokenStream(sql)
+    statement = _parse_statement(stream)
+    stream.accept_symbol(";")
+    if stream.current.kind != "eof":
+        raise stream.error(f"unexpected trailing input: {stream.current.value!r}")
+    return statement
+
+
+def _parse_statement(stream: TokenStream) -> SelectStmt:
+    ctes: List[Tuple[str, SelectStmt]] = []
+    if stream.current.is_keyword("with") and _is_cte_start(stream):
+        stream.expect_keyword("with")
+        while True:
+            name = stream.expect_ident().value
+            stream.expect_keyword("as")
+            stream.expect_symbol("(")
+            ctes.append((name, _parse_statement(stream)))
+            stream.expect_symbol(")")
+            if not stream.accept_symbol(","):
+                break
+        stream.accept_symbol(";")
+    statement = _parse_select(stream)
+    statement.ctes = ctes + statement.ctes
+    return statement
+
+
+def _is_cte_start(stream: TokenStream) -> bool:
+    """Distinguish ``WITH name AS (`` from the PREDICT ``WITH (cols)``."""
+    after = stream.peek(1)
+    return after.kind in ("ident", "keyword") and not after.is_symbol("(")
+
+
+def _parse_select(stream: TokenStream) -> SelectStmt:
+    stream.expect_keyword("select")
+    items = [_parse_select_item(stream)]
+    while stream.accept_symbol(","):
+        items.append(_parse_select_item(stream))
+    stream.expect_keyword("from")
+    source = _parse_table_source(stream)
+    joins: List[JoinClause] = []
+    while True:
+        how = None
+        if stream.accept_keyword("join"):
+            how = "inner"
+        elif stream.accept_keyword("inner"):
+            stream.expect_keyword("join")
+            how = "inner"
+        elif stream.accept_keyword("left"):
+            stream.accept_keyword("outer")
+            stream.expect_keyword("join")
+            how = "left"
+        if how is None:
+            break
+        target = _parse_table_source(stream)
+        stream.expect_keyword("on")
+        conditions = [_parse_join_condition(stream)]
+        while stream.accept_keyword("and"):
+            conditions.append(_parse_join_condition(stream))
+        joins.append(JoinClause(target, conditions, how))
+
+    where = None
+    if stream.accept_keyword("where"):
+        where = _parse_expression(stream)
+    group_by: List[str] = []
+    if stream.accept_keyword("group"):
+        stream.expect_keyword("by")
+        group_by.append(_parse_column_name(stream))
+        while stream.accept_symbol(","):
+            group_by.append(_parse_column_name(stream))
+    order_by: List[Tuple[str, bool]] = []
+    if stream.accept_keyword("order"):
+        stream.expect_keyword("by")
+        while True:
+            column = _parse_column_name(stream)
+            ascending = True
+            if stream.accept_keyword("desc"):
+                ascending = False
+            else:
+                stream.accept_keyword("asc")
+            order_by.append((column, ascending))
+            if not stream.accept_symbol(","):
+                break
+    limit = None
+    if stream.accept_keyword("limit"):
+        token = stream.advance()
+        if token.kind != "number":
+            raise stream.error("LIMIT expects a number")
+        limit = int(token.value)
+    return SelectStmt(items=items, source=source, joins=joins, where=where,
+                      group_by=group_by, order_by=order_by, limit=limit)
+
+
+def _parse_select_item(stream: TokenStream) -> SelectItem:
+    if stream.accept_symbol("*"):
+        return SelectItem(Star())
+    # alias.* form
+    if stream.current.kind == "ident":
+        after = stream.peek(1)
+        after2 = stream.peek(2)
+        if after.is_symbol(".") and after2.is_symbol("*"):
+            qualifier = stream.advance().value
+            stream.advance()  # .
+            stream.advance()  # *
+            return SelectItem(Star(qualifier))
+    # Aggregate call?
+    if stream.current.kind == "keyword" or stream.current.kind == "ident":
+        word = stream.current.value.lower()
+        after = stream.peek(1)
+        if word in AGGREGATE_FUNCTIONS and after.is_symbol("("):
+            stream.advance()
+            stream.expect_symbol("(")
+            if stream.accept_symbol("*"):
+                argument = None
+            else:
+                argument = _parse_column_name(stream)
+            stream.expect_symbol(")")
+            alias = _parse_alias(stream) or f"{word}"
+            return SelectItem(AggregateCall(word, argument, alias))
+    expression = _parse_expression(stream)
+    alias = _parse_alias(stream)
+    return SelectItem(expression, alias)
+
+
+def _parse_alias(stream: TokenStream) -> Optional[str]:
+    if stream.accept_keyword("as"):
+        return stream.expect_ident().value
+    if stream.current.kind == "ident":
+        return stream.advance().value
+    return None
+
+
+def _parse_column_name(stream: TokenStream) -> str:
+    name = stream.expect_ident().value
+    if stream.accept_symbol("."):
+        name = f"{name}.{stream.expect_ident().value}"
+    return name
+
+
+def _parse_join_condition(stream: TokenStream) -> Tuple[str, str]:
+    left = _parse_column_name(stream)
+    stream.expect_symbol("=")
+    right = _parse_column_name(stream)
+    return left, right
+
+
+def _parse_table_source(stream: TokenStream) -> FromSource:
+    if stream.current.is_keyword("predict"):
+        return _parse_predict(stream)
+    if stream.accept_symbol("("):
+        inner = _parse_statement(stream)
+        stream.expect_symbol(")")
+        stream.accept_keyword("as")
+        alias = stream.expect_ident().value
+        return SubqueryRef(inner, alias)
+    name = stream.expect_ident().value
+    alias = name
+    if stream.accept_keyword("as"):
+        alias = stream.expect_ident().value
+    elif stream.current.kind == "ident":
+        alias = stream.advance().value
+    return TableRef(name, alias)
+
+
+def _parse_predict(stream: TokenStream) -> PredictRef:
+    stream.expect_keyword("predict")
+    stream.expect_symbol("(")
+    stream.expect_keyword("model")
+    stream.expect_symbol("=")
+    model = _parse_model_name(stream)
+    stream.expect_symbol(",")
+    stream.expect_keyword("data")
+    stream.expect_symbol("=")
+    data = _parse_table_source(stream)
+    stream.expect_symbol(")")
+    stream.expect_keyword("with")
+    stream.expect_symbol("(")
+    with_columns: List[Tuple[str, DataType]] = []
+    while True:
+        column = stream.expect_ident().value
+        type_token = stream.advance()
+        if type_token.kind not in ("ident", "keyword"):
+            raise stream.error("expected a type name in WITH(...)")
+        with_columns.append((column, DataType.from_name(type_token.value)))
+        if not stream.accept_symbol(","):
+            break
+    stream.expect_symbol(")")
+    alias = _parse_alias(stream) or "p"
+    return PredictRef(model=model, data=data, with_columns=with_columns,
+                      alias=alias)
+
+
+def _parse_model_name(stream: TokenStream) -> str:
+    """Model reference: a name, a quoted path, or ``name.onnx``-style."""
+    if stream.current.kind == "string":
+        return stream.advance().value
+    name = stream.expect_ident().value
+    while stream.accept_symbol("."):
+        name = f"{name}.{stream.expect_ident().value}"
+    return name
+
+
+# ---------------------------------------------------------------------------
+# Expression parsing (precedence climbing)
+# ---------------------------------------------------------------------------
+
+def _parse_expression(stream: TokenStream) -> Expression:
+    return _parse_or(stream)
+
+
+def _parse_or(stream: TokenStream) -> Expression:
+    left = _parse_and(stream)
+    while stream.accept_keyword("or"):
+        left = BinaryOp("or", left, _parse_and(stream))
+    return left
+
+
+def _parse_and(stream: TokenStream) -> Expression:
+    left = _parse_not(stream)
+    while stream.accept_keyword("and"):
+        left = BinaryOp("and", left, _parse_not(stream))
+    return left
+
+
+def _parse_not(stream: TokenStream) -> Expression:
+    if stream.accept_keyword("not"):
+        return UnaryOp("not", _parse_not(stream))
+    return _parse_comparison(stream)
+
+
+def _parse_comparison(stream: TokenStream) -> Expression:
+    left = _parse_additive(stream)
+    negated = bool(stream.accept_keyword("not"))
+    if stream.accept_keyword("between"):
+        low = _parse_additive(stream)
+        stream.expect_keyword("and")
+        high = _parse_additive(stream)
+        expression: Expression = Between(left, low, high)
+        return UnaryOp("not", expression) if negated else expression
+    if stream.accept_keyword("in"):
+        stream.expect_symbol("(")
+        values = [_parse_literal_value(stream)]
+        while stream.accept_symbol(","):
+            values.append(_parse_literal_value(stream))
+        stream.expect_symbol(")")
+        expression = InList(left, values)
+        return UnaryOp("not", expression) if negated else expression
+    if negated:
+        raise stream.error("expected BETWEEN or IN after NOT")
+    for op in ("=", "<>", "<=", ">=", "<", ">"):
+        if stream.accept_symbol(op):
+            return BinaryOp(op, left, _parse_additive(stream))
+    return left
+
+
+def _parse_literal_value(stream: TokenStream):
+    token = stream.advance()
+    if token.kind == "string":
+        return token.value
+    if token.kind == "number":
+        return float(token.value) if any(c in token.value for c in ".eE") \
+            else int(token.value)
+    if token.is_symbol("-"):
+        inner = stream.advance()
+        if inner.kind != "number":
+            raise stream.error("expected a number after '-'")
+        value = float(inner.value) if any(c in inner.value for c in ".eE") \
+            else int(inner.value)
+        return -value
+    raise stream.error("expected a literal value")
+
+
+def _parse_additive(stream: TokenStream) -> Expression:
+    left = _parse_multiplicative(stream)
+    while True:
+        if stream.accept_symbol("+"):
+            left = BinaryOp("+", left, _parse_multiplicative(stream))
+        elif stream.accept_symbol("-"):
+            left = BinaryOp("-", left, _parse_multiplicative(stream))
+        else:
+            return left
+
+
+def _parse_multiplicative(stream: TokenStream) -> Expression:
+    left = _parse_unary(stream)
+    while True:
+        if stream.accept_symbol("*"):
+            left = BinaryOp("*", left, _parse_unary(stream))
+        elif stream.accept_symbol("/"):
+            left = BinaryOp("/", left, _parse_unary(stream))
+        else:
+            return left
+
+
+def _parse_unary(stream: TokenStream) -> Expression:
+    if stream.accept_symbol("-"):
+        return UnaryOp("-", _parse_unary(stream))
+    return _parse_primary(stream)
+
+
+def _parse_primary(stream: TokenStream) -> Expression:
+    token = stream.current
+    if token.kind == "number":
+        stream.advance()
+        if any(c in token.value for c in ".eE"):
+            return Literal(float(token.value))
+        return Literal(int(token.value))
+    if token.kind == "string":
+        stream.advance()
+        return Literal(token.value)
+    if token.is_keyword("true"):
+        stream.advance()
+        return Literal(True)
+    if token.is_keyword("false"):
+        stream.advance()
+        return Literal(False)
+    if token.is_keyword("case"):
+        return _parse_case(stream)
+    if token.is_keyword("cast"):
+        stream.advance()
+        stream.expect_symbol("(")
+        operand = _parse_expression(stream)
+        stream.expect_keyword("as")
+        type_token = stream.advance()
+        stream.expect_symbol(")")
+        return Cast(operand, DataType.from_name(type_token.value))
+    if stream.accept_symbol("("):
+        inner = _parse_expression(stream)
+        stream.expect_symbol(")")
+        return inner
+    if token.kind in ("ident", "keyword"):
+        # function call or (qualified) column reference
+        after = stream.peek(1)
+        if after.is_symbol("("):
+            name = stream.advance().value
+            stream.expect_symbol("(")
+            args = []
+            if not stream.current.is_symbol(")"):
+                args.append(_parse_expression(stream))
+                while stream.accept_symbol(","):
+                    args.append(_parse_expression(stream))
+            stream.expect_symbol(")")
+            return FunctionCall(name, args)
+        return ColumnRef(_parse_column_name(stream))
+    raise stream.error(f"unexpected token {token.value!r}")
+
+
+def _parse_case(stream: TokenStream) -> Expression:
+    stream.expect_keyword("case")
+    branches = []
+    while stream.accept_keyword("when"):
+        condition = _parse_expression(stream)
+        stream.expect_keyword("then")
+        value = _parse_expression(stream)
+        branches.append((condition, value))
+    if stream.accept_keyword("else"):
+        default = _parse_expression(stream)
+    else:
+        default = Literal(0.0)
+    stream.expect_keyword("end")
+    return CaseWhen(branches, default)

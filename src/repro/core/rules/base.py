@@ -1,0 +1,58 @@
+"""Rule infrastructure for the Raven optimizer.
+
+Every optimization is a :class:`Rule` over the unified IR (a logical plan
+whose Predict operators embed onnxlite graphs). Rules are pure: they return
+a new plan plus a :class:`RuleResult` describing what changed — the reports
+feed the experiment harness (e.g. "columns pruned" in Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.relational.logical import PlanNode, Predict, find_predict_nodes
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class RuleResult:
+    """Outcome of applying one rule."""
+
+    plan: PlanNode
+    applied: bool = False
+    info: Dict[str, object] = field(default_factory=dict)
+
+    def merge_info(self, other: Dict[str, object]) -> None:
+        for key, value in other.items():
+            if key in self.info and isinstance(value, (int, float)):
+                self.info[key] = self.info[key] + value  # type: ignore[operator]
+            else:
+                self.info[key] = value
+
+
+class Rule:
+    """Base class; subclasses implement :meth:`apply`."""
+
+    name: str = "rule"
+
+    def apply(self, plan: PlanNode, catalog: Catalog) -> RuleResult:
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<Rule {self.name}>"
+
+
+def replace_predict(plan: PlanNode, old: Predict, new: PlanNode) -> PlanNode:
+    """Return a plan with one Predict node substituted (identity-matched)."""
+
+    def substitute(node: PlanNode) -> Optional[PlanNode]:
+        return new if node is old else None
+
+    from repro.relational.logical import transform_plan
+    return transform_plan(plan, substitute)
+
+
+def predict_nodes(plan: PlanNode) -> List[Predict]:
+    """All Predict operators in the plan (rules iterate over these)."""
+    return find_predict_nodes(plan)

@@ -1,0 +1,54 @@
+"""MLtoDNN: route a trained pipeline to the DNN runtime (paper §5.1).
+
+The transformation itself (operators -> tensor program) lives in
+``repro.tensor.compile``; this rule checks the pipeline is compilable and
+annotates the Predict node with the target device. The paper excludes
+MLtoDNN-on-CPU whenever a GPU is available, so the default target is GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.rules.base import Rule, RuleResult, predict_nodes, replace_predict
+from repro.errors import UnsupportedOperatorError
+from repro.relational.logical import PlanNode, Predict, PredictMode
+from repro.storage.catalog import Catalog
+from repro.tensor.compile import compile_graph
+
+
+class MLtoDNN(Rule):
+    """The logical-to-physical transformation targeting the DNN runtime."""
+
+    name = "ml_to_dnn"
+
+    def __init__(self, device: str = "gpu", target: Optional[Predict] = None):
+        if device not in ("cpu", "gpu"):
+            raise ValueError(f"unknown device: {device!r}")
+        self.device = device
+        self.target = target
+
+    def apply(self, plan: PlanNode, catalog: Catalog) -> RuleResult:
+        result = RuleResult(plan=plan)
+        mode = PredictMode.DNN_GPU if self.device == "gpu" else PredictMode.DNN_CPU
+        for predict in predict_nodes(result.plan):
+            if self.target is not None and predict is not self.target:
+                continue
+            compile_graph(predict.graph)  # raises if any operator is unsupported
+            if predict.per_partition_graphs:
+                for graph in predict.per_partition_graphs:
+                    compile_graph(graph)
+            new_predict = predict.replace(mode=mode)
+            result.plan = replace_predict(result.plan, predict, new_predict)
+            result.applied = True
+            result.info["device"] = self.device
+        return result
+
+
+def is_dnn_compilable(graph) -> bool:
+    """Whether MLtoDNN supports every operator of ``graph``."""
+    try:
+        compile_graph(graph)
+        return True
+    except UnsupportedOperatorError:
+        return False

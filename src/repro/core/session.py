@@ -1,0 +1,247 @@
+"""RavenSession: the user-facing entry point (paper §6's Raven Session).
+
+Wraps catalog + parser + optimizer + executor:
+
+.. code-block:: python
+
+    session = RavenSession()
+    session.register_table("patients", table, primary_key=["id"])
+    session.register_model("risk", pipeline)           # learn Pipeline,
+                                                       # onnxlite Graph, or path
+    result = session.sql(\"\"\"
+        SELECT d.id, p.score
+        FROM PREDICT(MODEL = risk, DATA = patients AS d)
+             WITH (score FLOAT) AS p
+        WHERE d.asthma = 1
+    \"\"\")
+
+``session.last_run`` carries timing for benchmarks, including the modeled
+time adjustment for simulated-GPU execution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.binder import Binder
+from repro.core.executor import DEFAULT_BATCH_SIZE, PredictRuntime, QueryExecutor
+from repro.core.optimizer import OptimizationReport, RavenOptimizer
+from repro.core.parser import parse
+from repro.core.strategies import OptimizationStrategy
+from repro.errors import CatalogError
+from repro.learn.pipeline import Pipeline
+from repro.onnxlite.convert import convert_pipeline
+from repro.onnxlite.graph import Graph
+from repro.onnxlite.serialize import load_graph
+from repro.relational.logical import PlanNode
+from repro.relational.optimizer import RelationalOptimizer
+from repro.relational.sqlgen import plan_to_sql
+from repro.storage.catalog import Catalog
+from repro.storage.partition import PartitionedTable
+from repro.storage.table import Table
+from repro.tensor.device import K80
+
+
+@dataclass
+class RunStats:
+    """Timing of the last executed query."""
+
+    wall_seconds: float
+    gpu_adjustment_seconds: float = 0.0
+    optimize_seconds: float = 0.0
+    report: Optional[OptimizationReport] = None
+
+    @property
+    def adjusted_seconds(self) -> float:
+        """Wall time with measured simulated-device time replaced by the
+        modeled device time (what a GPU-equipped run would have taken)."""
+        return self.wall_seconds + self.gpu_adjustment_seconds
+
+
+class RavenSession:
+    """A connection-like object owning a catalog and an optimizer setup."""
+
+    def __init__(self,
+                 enable_optimizations: bool = True,
+                 enable_cross: Optional[bool] = None,
+                 enable_data_induced: Optional[bool] = None,
+                 strategy: Optional[Union[OptimizationStrategy, str]] = None,
+                 gpu_available: bool = False,
+                 gpu_spec=K80,
+                 dop: int = 1,
+                 batch_size: int = DEFAULT_BATCH_SIZE):
+        self.catalog = Catalog()
+        self.enable_cross = enable_optimizations if enable_cross is None \
+            else enable_cross
+        self.enable_data_induced = enable_optimizations \
+            if enable_data_induced is None else enable_data_induced
+        self.enable_optimizations = enable_optimizations
+        self.strategy = strategy if enable_optimizations else "none"
+        self.gpu_available = gpu_available
+        self.dop = dop
+        self.runtime = PredictRuntime(batch_size=batch_size, gpu_spec=gpu_spec)
+        self.last_run: Optional[RunStats] = None
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_table(self, name: str, table: Union[Table, PartitionedTable],
+                       primary_key: Optional[Sequence[str]] = None,
+                       partition_column: Optional[str] = None,
+                       replace: bool = False) -> None:
+        """Register a table (optionally partitioned by a column)."""
+        self.catalog.add_table(name, table, primary_key=primary_key,
+                               partition_column=partition_column,
+                               replace=replace)
+
+    def register_model(self, name: str,
+                       model: Union[Graph, Pipeline, str],
+                       replace: bool = False, **metadata) -> Graph:
+        """Register a trained pipeline under ``name``.
+
+        Accepts an onnxlite Graph, a ``repro.learn`` Pipeline (converted on
+        the fly, like ONNX export), or a path to a serialized graph.
+        """
+        if isinstance(model, Pipeline):
+            graph = convert_pipeline(model, name=name)
+        elif isinstance(model, Graph):
+            graph = model
+        elif isinstance(model, str):
+            graph = load_graph(model)
+        else:
+            raise CatalogError(
+                f"cannot register model of type {type(model).__name__}"
+            )
+        self.catalog.add_model(name, graph, replace=replace, **metadata)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, query: str) -> PlanNode:
+        """Parse + bind (no optimization)."""
+        return Binder(self.catalog).bind(parse(query))
+
+    def _optimizer(self) -> RavenOptimizer:
+        return RavenOptimizer(
+            self.catalog,
+            enable_cross=self.enable_cross,
+            enable_data_induced=self.enable_data_induced,
+            strategy=self.strategy,
+            gpu_available=self.gpu_available,
+        )
+
+    def optimize(self, query: str):
+        """Parse, bind and optimize; returns (plan, report)."""
+        bound = self.plan(query)
+        if not self.enable_optimizations and self.strategy in (None, "none"):
+            # Raven (no-opt): only the host engine's own passes run.
+            plan = RelationalOptimizer(self.catalog).optimize(bound)
+            return plan, OptimizationReport()
+        return self._optimizer().optimize(bound)
+
+    def explain(self, query: str) -> str:
+        """Optimized plan rendering plus the optimizer's report."""
+        plan, report = self.optimize(query)
+        return plan.pretty(self.catalog) + "\n-- " + \
+            report.summary().replace("\n", "\n-- ")
+
+    def to_sql_server(self, query: str) -> str:
+        """T-SQL text of the optimized plan (paper §6: SQL Server output)."""
+        plan, _ = self.optimize(query)
+        return plan_to_sql(plan)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def sql(self, query: str) -> Table:
+        """Optimize and execute a query; timing lands in ``last_run``."""
+        optimize_started = time.perf_counter()
+        plan, report = self.optimize(query)
+        optimize_seconds = time.perf_counter() - optimize_started
+        return self._execute(plan, report, optimize_seconds)
+
+    def prepare(self, query: str) -> "PreparedQuery":
+        """Optimize once, execute many times (offline optimization, §7.4).
+
+        The paper notes Raven's optimizations "could be performed offline
+        (saving the optimized model/plan) — this way Raven can be beneficial
+        for any dataset size". A prepared query amortizes the optimizer
+        cost across executions and exposes the optimized pipeline graphs
+        for persistence.
+        """
+        plan, report = self.optimize(query)
+        return PreparedQuery(self, query, plan, report)
+
+    def execute_plan(self, plan: PlanNode) -> Table:
+        """Execute an already-optimized plan."""
+        return self._execute(plan, None, 0.0)
+
+    def _execute(self, plan: PlanNode, report: Optional[OptimizationReport],
+                 optimize_seconds: float) -> Table:
+        executor = QueryExecutor(self.catalog, self.runtime, dop=self.dop)
+        adjustment_before = self.runtime.gpu_time_adjustment
+        started = time.perf_counter()
+        result = executor.execute(plan)
+        wall = time.perf_counter() - started
+        self.last_run = RunStats(
+            wall_seconds=wall,
+            gpu_adjustment_seconds=(self.runtime.gpu_time_adjustment
+                                    - adjustment_before),
+            optimize_seconds=optimize_seconds,
+            report=report,
+        )
+        return result
+
+
+class PreparedQuery:
+    """An optimized, repeatedly-executable prediction query.
+
+    Holds the optimized plan (optimizer cost already paid); the optimized
+    model graphs can be saved to disk and re-registered later, so the
+    logical optimizations survive across sessions.
+    """
+
+    def __init__(self, session: RavenSession, query: str, plan: PlanNode,
+                 report: OptimizationReport):
+        self.session = session
+        self.query = query
+        self.plan = plan
+        self.report = report
+
+    def execute(self) -> Table:
+        """Run the prepared plan (no re-optimization)."""
+        return self.session._execute(self.plan, self.report, 0.0)
+
+    def optimized_graphs(self) -> List[Graph]:
+        """The post-optimization pipeline graphs still in the plan.
+
+        Empty when MLtoSQL compiled every Predict away.
+        """
+        from repro.relational.logical import find_predict_nodes
+        return [predict.graph for predict in find_predict_nodes(self.plan)]
+
+    def save_models(self, directory: str) -> List[str]:
+        """Persist the optimized model graphs ("saving the optimized model").
+
+        Returns the written file paths (``<dir>/<model>_optimized.ronnx``).
+        """
+        import os
+
+        from repro.onnxlite.serialize import save_graph
+        from repro.relational.logical import find_predict_nodes
+
+        os.makedirs(directory, exist_ok=True)
+        paths: List[str] = []
+        for predict in find_predict_nodes(self.plan):
+            path = os.path.join(directory,
+                                f"{predict.model_name}_optimized.ronnx")
+            save_graph(predict.graph, path)
+            paths.append(path)
+        return paths
+
+    def explain(self) -> str:
+        return self.plan.pretty(self.session.catalog) + "\n-- " + \
+            self.report.summary().replace("\n", "\n-- ")

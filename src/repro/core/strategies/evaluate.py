@@ -1,0 +1,95 @@
+"""Strategy evaluation protocol (paper §5.2, Fig. 4).
+
+Stratified 5-fold cross validation repeated R times (the paper: 40 repeats
+for 200 total runs). Each run reports:
+
+* **accuracy** — fraction of test pipelines whose predicted transformation
+  matches the true fastest one;
+* **speedup optimality** — (total runtime under the oracle) / (total
+  runtime under the strategy's choices) over the test fold; 1.0 means the
+  strategy matched the optimum everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.strategies.base import (
+    CHOICES,
+    OptimizationStrategy,
+    best_choice_labels,
+)
+from repro.learn.model_selection import StratifiedKFold
+
+
+@dataclass
+class StrategyEvaluation:
+    """Per-run metrics plus distribution summaries."""
+
+    name: str
+    accuracies: List[float] = field(default_factory=list)
+    speedups: List[float] = field(default_factory=list)
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean(self.accuracies)) if self.accuracies else 0.0
+
+    def accuracy_std(self) -> float:
+        return float(np.std(self.accuracies)) if self.accuracies else 0.0
+
+    def speedup_percentiles(self) -> Dict[str, float]:
+        if not self.speedups:
+            return {}
+        values = np.asarray(self.speedups)
+        return {
+            "min": float(values.min()),
+            "p25": float(np.percentile(values, 25)),
+            "median": float(np.percentile(values, 50)),
+            "p75": float(np.percentile(values, 75)),
+            "max": float(values.max()),
+        }
+
+
+def evaluate_strategy(factory, features: np.ndarray, runtimes: np.ndarray,
+                      choices: Sequence[str] = CHOICES, n_splits: int = 5,
+                      repeats: int = 40, random_state: int = 0,
+                      name: str = "strategy") -> StrategyEvaluation:
+    """Run the paper's repeated stratified-fold protocol.
+
+    ``factory`` builds a fresh unfitted strategy per fold. With the default
+    5 splits x 40 repeats this yields the paper's 200 runs.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    runtimes = np.asarray(runtimes, dtype=np.float64)
+    labels = best_choice_labels(runtimes, choices)
+    evaluation = StrategyEvaluation(name=name)
+
+    for repeat in range(repeats):
+        splitter = StratifiedKFold(n_splits=n_splits, shuffle=True,
+                                   random_state=random_state + repeat)
+        for train_index, test_index in splitter.split(features, labels):
+            strategy: OptimizationStrategy = factory()
+            strategy.fit(features[train_index], runtimes[train_index], choices)
+            predicted = [strategy.choose_from_vector(features[i])
+                         for i in test_index]
+            predicted_index = np.asarray([list(choices).index(p)
+                                          for p in predicted])
+            true_index = labels[test_index]
+            evaluation.accuracies.append(
+                float(np.mean(predicted_index == true_index)))
+            chosen_runtime = runtimes[test_index, predicted_index].sum()
+            optimal_runtime = runtimes[test_index, true_index].sum()
+            evaluation.speedups.append(
+                float(optimal_runtime / chosen_runtime) if chosen_runtime else 0.0)
+    return evaluation
+
+
+def class_balance(runtimes: np.ndarray,
+                  choices: Sequence[str] = CHOICES) -> Dict[str, int]:
+    """How many pipelines each transformation wins (paper: 25/72/41)."""
+    labels = best_choice_labels(runtimes, choices)
+    return {choice: int(np.sum(labels == i))
+            for i, choice in enumerate(choices)}

@@ -1,0 +1,180 @@
+"""SQL tokenizer for the Raven prediction-query dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "select", "from", "where", "group", "order", "by", "limit", "join",
+    "inner", "left", "outer", "on", "and", "or", "not", "as", "with",
+    "predict", "model", "data", "case", "when", "then", "else", "end",
+    "between", "in", "is", "null", "cast", "asc", "desc", "having",
+    "true", "false",
+}
+
+SYMBOLS = ("<>", "<=", ">=", "!=", "=", "<", ">", "(", ")", ",", "+", "-",
+           "*", "/", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind in {keyword, ident, number, string, symbol, eof}."""
+
+    kind: str
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.value == word.lower()
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.kind == "symbol" and self.value == symbol
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex SQL text into tokens; raises :class:`ParseError` on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i:i + 2] == "--":  # line comment
+            newline = text.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            end = i + 1
+            chunks: List[str] = []
+            while True:
+                if end >= n:
+                    raise ParseError("unterminated string literal", i, text)
+                if text[end] == "'":
+                    if end + 1 < n and text[end + 1] == "'":  # escaped quote
+                        chunks.append(text[i + 1:end + 1])
+                        i = end + 1
+                        end += 2
+                        continue
+                    break
+                end += 1
+            chunks.append(text[i + 1:end])
+            tokens.append(Token("string", "".join(chunks), i))
+            i = end + 1
+            continue
+        if ch == "[":
+            end = text.find("]", i)
+            if end < 0:
+                raise ParseError("unterminated [identifier]", i, text)
+            tokens.append(Token("ident", text[i + 1:end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            end = i
+            seen_dot = False
+            seen_exp = False
+            while end < n:
+                c = text[end]
+                if c.isdigit():
+                    end += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    end += 1
+                elif c in "eE" and not seen_exp and end > i:
+                    seen_exp = True
+                    end += 1
+                    if end < n and text[end] in "+-":
+                        end += 1
+                else:
+                    break
+            tokens.append(Token("number", text[i:end], i))
+            i = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = i
+            while end < n and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[i:end]
+            kind = "keyword" if word.lower() in KEYWORDS else "ident"
+            value = word.lower() if kind == "keyword" else word
+            tokens.append(Token(kind, value, i))
+            i = end
+            continue
+        matched = False
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, i):
+                # Normalize != to <>.
+                value = "<>" if symbol == "!=" else symbol
+                tokens.append(Token("symbol", value, i))
+                i += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise ParseError(f"unexpected character {ch!r}", i, text)
+    tokens.append(Token("eof", "", n))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with convenience accept/expect helpers."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def peek(self, offset: int = 0) -> Token:
+        """Look ahead; clamped to the trailing EOF token."""
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def accept_keyword(self, *words: str) -> Optional[Token]:
+        if any(self.current.is_keyword(w) for w in words):
+            return self.advance()
+        return None
+
+    def accept_symbol(self, symbol: str) -> Optional[Token]:
+        if self.current.is_symbol(symbol):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.accept_keyword(word)
+        if token is None:
+            raise ParseError(f"expected {word.upper()}, got {self.current.value!r}",
+                             self.current.position, self.text)
+        return token
+
+    def expect_symbol(self, symbol: str) -> Token:
+        token = self.accept_symbol(symbol)
+        if token is None:
+            raise ParseError(f"expected {symbol!r}, got {self.current.value!r}",
+                             self.current.position, self.text)
+        return token
+
+    def expect_ident(self) -> Token:
+        if self.current.kind == "ident":
+            return self.advance()
+        # Non-reserved keyword positions: allow keywords as identifiers where
+        # unambiguous (e.g. a column literally named "data").
+        if self.current.kind == "keyword" and self.current.value in ("data", "model"):
+            return self.advance()
+        raise ParseError(f"expected identifier, got {self.current.value!r}",
+                         self.current.position, self.text)
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.current.position, self.text)

@@ -1,0 +1,153 @@
+"""Synthetic pipeline corpus — the OpenML CC-18 stand-in (paper §2.1, §5.2).
+
+The paper studies 508 scikit-learn pipelines over 72 OpenML datasets
+(Fig. 1) and trains its optimization strategies on 138 of them. No network
+access exists here, so this module generates a randomized population of
+*trained* pipelines whose marginals match the paper's observed spread:
+inputs from a few to hundreds, one-hot cardinalities up to the hundreds,
+tree ensembles from single decision trees to hundreds of estimators, and a
+large unused-feature fraction (the paper reports 46% on average).
+
+Each corpus entry carries the trained onnxlite graph plus the synthetic
+evaluation data needed to *measure* the runtime of each physical choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.learn.ensemble import GradientBoostingClassifier, RandomForestClassifier
+from repro.learn.linear import LogisticRegression
+from repro.learn.pipeline import make_standard_pipeline
+from repro.learn.tree import DecisionTreeClassifier
+from repro.onnxlite.convert import convert_pipeline
+from repro.onnxlite.graph import Graph
+from repro.storage.table import Table
+
+MODEL_KINDS = ("lr", "dt", "rf", "gb")
+
+
+@dataclass
+class CorpusEntry:
+    """One synthetic trained pipeline + its evaluation data."""
+
+    name: str
+    kind: str
+    graph: Graph
+    eval_table: Table
+    input_columns: List[str]
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class PipelineSpec:
+    """Sampled shape of one corpus pipeline."""
+
+    kind: str
+    n_numeric: int
+    n_categorical: int
+    cardinalities: List[int]
+    params: Dict[str, object]
+
+
+def sample_spec(rng: np.random.Generator) -> PipelineSpec:
+    """Draw a pipeline shape from paper-like marginals."""
+    kind = MODEL_KINDS[rng.integers(0, len(MODEL_KINDS))]
+    n_numeric = int(rng.integers(2, 24))
+    n_categorical = int(rng.integers(0, 12))
+    cardinalities = []
+    for _ in range(n_categorical):
+        if rng.random() < 0.15:  # occasional high-cardinality encoder
+            cardinalities.append(int(rng.integers(40, 150)))
+        else:
+            cardinalities.append(int(rng.integers(2, 16)))
+    if kind == "lr":
+        params: Dict[str, object] = {
+            "C": float(10.0 ** rng.uniform(-2.2, 1.0)),
+            "penalty": "l1" if rng.random() < 0.6 else "l2",
+        }
+    elif kind == "dt":
+        params = {"max_depth": int(rng.integers(3, 15))}
+    elif kind == "rf":
+        params = {"n_estimators": int(rng.integers(5, 60)),
+                  "max_depth": int(rng.integers(4, 10))}
+    else:  # gb
+        params = {"n_estimators": int(rng.integers(10, 160)),
+                  "max_depth": int(rng.integers(2, 7))}
+    return PipelineSpec(kind, n_numeric, n_categorical, cardinalities, params)
+
+
+def build_model(spec: PipelineSpec, seed: int):
+    """Instantiate the (unfitted) model a :class:`PipelineSpec` describes."""
+    if spec.kind == "lr":
+        return LogisticRegression(penalty=spec.params["penalty"],
+                                  C=spec.params["C"], max_iter=400)
+    if spec.kind == "dt":
+        return DecisionTreeClassifier(max_depth=spec.params["max_depth"],
+                                      random_state=seed)
+    if spec.kind == "rf":
+        return RandomForestClassifier(n_estimators=spec.params["n_estimators"],
+                                      max_depth=spec.params["max_depth"],
+                                      random_state=seed)
+    return GradientBoostingClassifier(n_estimators=spec.params["n_estimators"],
+                                      max_depth=spec.params["max_depth"],
+                                      random_state=seed)
+
+
+def generate_entry(index: int, seed: int, train_rows: int = 1_200,
+                   eval_rows: int = 5_000) -> CorpusEntry:
+    """Train one randomized pipeline and return it with evaluation data."""
+    rng = np.random.default_rng(seed)
+    spec = sample_spec(rng)
+
+    numeric_columns = [f"x{j}" for j in range(spec.n_numeric)]
+    categorical_columns = [f"c{j}" for j in range(spec.n_categorical)]
+    n_total = train_rows + eval_rows
+    columns: Dict[str, np.ndarray] = {}
+    for name in numeric_columns:
+        columns[name] = rng.normal(0.0, 1.0, n_total)
+    for name, cardinality in zip(categorical_columns, spec.cardinalities):
+        codes = rng.integers(0, cardinality, n_total)
+        codes[:cardinality] = np.arange(cardinality)  # full coverage
+        columns[name] = np.char.add(f"{name}_", codes.astype(np.str_))
+
+    # Label uses a random subset of columns -> realistic unused features.
+    n_signal = max(2, int(rng.integers(2, max(3, spec.n_numeric // 2 + 1))))
+    signal_columns = rng.choice(numeric_columns, n_signal, replace=False)
+    score = np.zeros(n_total)
+    for j, name in enumerate(signal_columns):
+        score += (1.5 * 0.7 ** j) * columns[name]
+    if categorical_columns and rng.random() < 0.7:
+        pick = categorical_columns[int(rng.integers(0, len(categorical_columns)))]
+        top = f"{pick}_0"
+        score += 1.0 * (columns[pick] == top)
+    label = (score + rng.normal(0, 0.8, n_total) > np.median(score)).astype(int)
+
+    table = Table.from_arrays(**columns)
+    train = table.slice(0, train_rows)
+    evaluation = table.slice(train_rows, n_total)
+
+    model = build_model(spec, seed)
+    pipeline = make_standard_pipeline(model, numeric_columns, categorical_columns)
+    pipeline.fit(train, label[:train_rows])
+    graph = convert_pipeline(pipeline, name=f"corpus_{index}_{spec.kind}")
+    return CorpusEntry(
+        name=f"corpus_{index}",
+        kind=spec.kind,
+        graph=graph,
+        eval_table=evaluation,
+        input_columns=numeric_columns + categorical_columns,
+        params=dict(spec.params),
+    )
+
+
+def generate_corpus(n_pipelines: int = 120, seed: int = 7,
+                    train_rows: int = 1_200,
+                    eval_rows: int = 5_000) -> List[CorpusEntry]:
+    """Generate the full corpus (deterministic in ``seed``)."""
+    return [generate_entry(index, seed * 100_003 + index,
+                           train_rows=train_rows, eval_rows=eval_rows)
+            for index in range(n_pipelines)]

@@ -1,0 +1,147 @@
+"""Expedia dataset (Table 1: 3 tables, 28 inputs = 8 numeric + 20
+categorical, 3965 features after encoding = 8 + 3957).
+
+Star schema (as in the Hamlet/Project-Hamlet setup the paper cites):
+``searches`` (fact) joins ``hotels`` on ``prop_id`` and ``destinations``
+on ``dest_id`` — the paper's 3-way join. Categorical cardinalities are
+split across the three tables and sum to 3957 at ``cardinality_scale=1``;
+the scale knob shrinks the two large id-like domains proportionally while
+preserving the schema shape (documented substitution for laptop-scale
+training; Table 1 statistics are reported at scale 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.datasets.synth import Dataset, binary_label, categorical_column, category_codes
+from repro.storage.table import Table
+
+# (column, table, cardinality at scale 1, scalable?)
+_CATEGORICAL_SPEC: List[Tuple[str, str, int, bool]] = [
+    # searches (fact): 6 categorical
+    ("site_name", "searches", 40, False),
+    ("visitor_location", "searches", 210, True),
+    ("srch_saturday_night", "searches", 2, False),
+    ("random_bool", "searches", 2, False),
+    ("srch_device", "searches", 8, False),
+    ("srch_channel", "searches", 10, False),
+    # hotels: 8 categorical
+    ("prop_country", "hotels", 150, True),
+    ("prop_brand", "hotels", 420, True),
+    ("prop_starrating", "hotels", 6, False),
+    ("prop_review_band", "hotels", 11, False),
+    ("promotion_flag", "hotels", 2, False),
+    ("prop_type", "hotels", 24, False),
+    ("prop_region", "hotels", 480, True),
+    ("prop_cluster", "hotels", 100, True),
+    # destinations: 6 categorical
+    ("dest_market", "destinations", 680, True),
+    ("dest_country", "destinations", 160, True),
+    ("dest_continent", "destinations", 7, False),
+    ("dest_band", "destinations", 5, False),
+    ("dest_cluster", "destinations", 1500, True),
+    ("dest_popularity_band", "destinations", 140, True),
+]
+# Cardinalities above sum to 3957 at scale 1 (8 numeric + 3957 = 3965).
+
+_NUMERIC_SPEC = {
+    "searches": ["srch_length_of_stay", "srch_booking_window",
+                 "srch_adults_count", "srch_room_count"],
+    "hotels": ["prop_location_score", "price_usd"],
+    "destinations": ["dest_score", "orig_destination_distance"],
+}
+
+
+def scaled_cardinalities(cardinality_scale: float) -> Dict[str, int]:
+    """Per-column cardinalities after applying the scale knob."""
+    out = {}
+    for column, _table, cardinality, scalable in _CATEGORICAL_SPEC:
+        if scalable:
+            out[column] = max(3, int(round(cardinality * cardinality_scale)))
+        else:
+            out[column] = cardinality
+    return out
+
+
+def generate(n_rows: int = 100_000, seed: int = 0,
+             cardinality_scale: float = 1.0,
+             n_hotels: int = 4_000, n_destinations: int = 2_000) -> Dataset:
+    """Generate the synthetic Expedia dataset (3-way star join)."""
+    rng = np.random.default_rng(seed)
+    cardinalities = scaled_cardinalities(cardinality_scale)
+
+    hotels = _dimension(rng, "hotels", "prop_id", n_hotels, cardinalities)
+    destinations = _dimension(rng, "destinations", "dest_id", n_destinations,
+                              cardinalities)
+
+    prop_ids = rng.integers(0, n_hotels, n_rows)
+    dest_ids = rng.integers(0, n_destinations, n_rows)
+    # Reference every dimension row at least once so the post-encoding
+    # feature counts match Table 1 exactly even at small row counts.
+    if n_rows >= n_hotels:
+        prop_ids[:n_hotels] = np.arange(n_hotels)
+    if n_rows >= n_destinations:
+        dest_ids[:n_destinations] = np.arange(n_destinations)
+    fact: Dict[str, np.ndarray] = {
+        "srch_id": np.arange(n_rows, dtype=np.int64),
+        "prop_id": prop_ids,
+        "dest_id": dest_ids,
+        "srch_length_of_stay": rng.gamma(2.0, 1.5, n_rows) + 1.0,
+        "srch_booking_window": rng.gamma(2.0, 20.0, n_rows),
+        "srch_adults_count": rng.integers(1, 5, n_rows).astype(np.float64),
+        "srch_room_count": rng.integers(1, 4, n_rows).astype(np.float64),
+    }
+    for column, table, _card, _scalable in _CATEGORICAL_SPEC:
+        if table == "searches":
+            fact[column] = categorical_column(rng, n_rows,
+                                              cardinalities[column], column)
+
+    dataset = Dataset(
+        name="expedia",
+        tables={
+            "searches": Table.from_arrays(**fact),
+            "hotels": hotels,
+            "destinations": destinations,
+        },
+        fact_table="searches",
+        primary_keys={"searches": ["srch_id"], "hotels": ["prop_id"],
+                      "destinations": ["dest_id"]},
+        join_spec=[("prop_id", "hotels", "h", "prop_id"),
+                   ("dest_id", "destinations", "dst", "dest_id")],
+        numeric_inputs=[c for cols in _NUMERIC_SPEC.values() for c in cols],
+        categorical_inputs=[c for c, _t, _k, _s in _CATEGORICAL_SPEC],
+        label=np.zeros(n_rows, dtype=np.int64),
+    )
+    dataset.label = _labels(rng, dataset)
+    return dataset
+
+
+def _dimension(rng: np.random.Generator, table: str, key: str, n_rows: int,
+               cardinalities: Dict[str, int]) -> Table:
+    columns: Dict[str, np.ndarray] = {key: np.arange(n_rows, dtype=np.int64)}
+    for column, owner, _card, _scalable in _CATEGORICAL_SPEC:
+        if owner == table:
+            columns[column] = categorical_column(rng, n_rows,
+                                                 cardinalities[column], column)
+    for column in _NUMERIC_SPEC[table]:
+        columns[column] = rng.normal(0.0, 1.0, n_rows) * 10.0 + 50.0
+    return Table.from_arrays(**columns)
+
+
+def _labels(rng: np.random.Generator, dataset: Dataset) -> np.ndarray:
+    """Booking propensity from a handful of strong + medium signals."""
+    joined = dataset.joined()
+    star = category_codes(joined.array("prop_starrating")).astype(np.float64)
+    score = (
+        0.5 * star
+        - 0.015 * (joined.array("price_usd") - 50.0)
+        + 0.02 * (joined.array("prop_location_score") - 50.0)
+        + 0.8 * (joined.array("promotion_flag") == "promotion_flag_0")
+        - 0.01 * joined.array("srch_booking_window") / 20.0
+        + 0.4 * (joined.array("srch_saturday_night") == "srch_saturday_night_0")
+        + 0.015 * (joined.array("dest_score") - 50.0)
+    )
+    return binary_label(rng, score, noise=0.6, positive_rate=0.35)

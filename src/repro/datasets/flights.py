@@ -1,0 +1,166 @@
+"""Flights dataset (Table 1: 4 tables, 37 inputs = 4 numeric + 33
+categorical, 6475 features after encoding = 4 + 6471).
+
+Star schema with the paper's 4-way join: ``flights`` (fact) joins
+``airlines`` on the carrier key and the origin/destination airport
+dimensions. Origin and destination airports use distinct tables with
+``o_``/``d_`` prefixed columns so the 33 categorical inputs are uniquely
+named. Cardinalities sum to 6471 at ``cardinality_scale=1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.datasets.synth import Dataset, binary_label, categorical_column, category_codes
+from repro.storage.table import Table
+
+# (column, table, cardinality at scale 1, scalable?)
+_CATEGORICAL_SPEC: List[Tuple[str, str, int, bool]] = [
+    # flights (fact): 11 categorical -> 1813
+    ("flight_num_band", "flights", 919, True),
+    ("tail_band", "flights", 800, True),
+    ("month", "flights", 12, False),
+    ("day_of_week", "flights", 7, False),
+    ("dep_block", "flights", 19, False),
+    ("arr_block", "flights", 19, False),
+    ("cancel_code", "flights", 4, False),
+    ("distance_band", "flights", 12, False),
+    ("carrier_code", "flights", 15, False),
+    ("season", "flights", 4, False),
+    ("red_eye", "flights", 2, False),
+    # airlines: 6 categorical -> 46
+    ("airline_name", "airlines", 15, False),
+    ("alliance", "airlines", 4, False),
+    ("fleet_band", "airlines", 10, False),
+    ("hub_region", "airlines", 12, False),
+    ("service_class", "airlines", 3, False),
+    ("low_cost", "airlines", 2, False),
+    # origin airports: 8 categorical -> 2306
+    ("o_city", "origin_airports", 2200, True),
+    ("o_state", "origin_airports", 55, False),
+    ("o_region", "origin_airports", 9, False),
+    ("o_size", "origin_airports", 5, False),
+    ("o_hub", "origin_airports", 3, False),
+    ("o_intl", "origin_airports", 2, False),
+    ("o_weather_zone", "origin_airports", 25, False),
+    ("o_timezone", "origin_airports", 7, False),
+    # destination airports: 8 categorical -> 2306
+    ("d_city", "dest_airports", 2200, True),
+    ("d_state", "dest_airports", 55, False),
+    ("d_region", "dest_airports", 9, False),
+    ("d_size", "dest_airports", 5, False),
+    ("d_hub", "dest_airports", 3, False),
+    ("d_intl", "dest_airports", 2, False),
+    ("d_weather_zone", "dest_airports", 25, False),
+    ("d_timezone", "dest_airports", 7, False),
+]
+# Cardinalities sum to 6471 at scale 1 (4 numeric + 6471 = 6475).
+
+NUMERIC_INPUTS = ["distance", "scheduled_time", "fleet_age", "o_elevation"]
+
+
+def generate(n_rows: int = 100_000, seed: int = 0,
+             cardinality_scale: float = 1.0,
+             n_airlines: int = 15, n_airports: int = 2_400) -> Dataset:
+    """Generate the synthetic Flights dataset (4-way star join)."""
+    rng = np.random.default_rng(seed)
+    cardinalities = {}
+    for column, _table, cardinality, scalable in _CATEGORICAL_SPEC:
+        cardinalities[column] = (max(3, int(round(cardinality * cardinality_scale)))
+                                 if scalable else cardinality)
+
+    airlines = _airlines_table(rng, n_airlines, cardinalities)
+    origin = _airport_table(rng, "origin_airports", "o", n_airports,
+                            cardinalities)
+    dest = _airport_table(rng, "dest_airports", "d", n_airports, cardinalities)
+
+    airline_ids = rng.integers(0, n_airlines, n_rows)
+    origin_ids = rng.integers(0, n_airports, n_rows)
+    dest_ids = rng.integers(0, n_airports, n_rows)
+    # Reference every dimension row at least once so the post-encoding
+    # feature counts match Table 1 exactly even at small row counts.
+    if n_rows >= n_airports:
+        origin_ids[:n_airports] = np.arange(n_airports)
+        dest_ids[:n_airports] = np.arange(n_airports)
+    if n_rows >= n_airlines:
+        airline_ids[:n_airlines] = np.arange(n_airlines)
+    fact: Dict[str, np.ndarray] = {
+        "flight_id": np.arange(n_rows, dtype=np.int64),
+        "airline_id": airline_ids,
+        "origin_id": origin_ids,
+        "dest_id": dest_ids,
+        "distance": rng.gamma(2.0, 450.0, n_rows),
+        "scheduled_time": rng.normal(150.0, 60.0, n_rows),
+    }
+    for column, table, _card, _scalable in _CATEGORICAL_SPEC:
+        if table == "flights":
+            fact[column] = categorical_column(rng, n_rows,
+                                              cardinalities[column], column)
+
+    dataset = Dataset(
+        name="flights",
+        tables={
+            "flights": Table.from_arrays(**fact),
+            "airlines": airlines,
+            "origin_airports": origin,
+            "dest_airports": dest,
+        },
+        fact_table="flights",
+        primary_keys={"flights": ["flight_id"], "airlines": ["airline_id"],
+                      "origin_airports": ["o_airport_id"],
+                      "dest_airports": ["d_airport_id"]},
+        join_spec=[("airline_id", "airlines", "al", "airline_id"),
+                   ("origin_id", "origin_airports", "oa", "o_airport_id"),
+                   ("dest_id", "dest_airports", "da", "d_airport_id")],
+        numeric_inputs=list(NUMERIC_INPUTS),
+        categorical_inputs=[c for c, _t, _k, _s in _CATEGORICAL_SPEC],
+        label=np.zeros(n_rows, dtype=np.int64),
+    )
+    dataset.label = _labels(rng, dataset)
+    return dataset
+
+
+def _airlines_table(rng, n_rows: int, cardinalities: Dict[str, int]) -> Table:
+    columns: Dict[str, np.ndarray] = {
+        "airline_id": np.arange(n_rows, dtype=np.int64),
+        "fleet_age": rng.normal(12.0, 4.0, n_rows),
+    }
+    for column, table, _card, _scalable in _CATEGORICAL_SPEC:
+        if table == "airlines":
+            columns[column] = categorical_column(
+                rng, n_rows, min(cardinalities[column], n_rows), column)
+    return Table.from_arrays(**columns)
+
+
+def _airport_table(rng, table_name: str, prefix: str, n_rows: int,
+                   cardinalities: Dict[str, int]) -> Table:
+    columns: Dict[str, np.ndarray] = {
+        f"{prefix}_airport_id": np.arange(n_rows, dtype=np.int64),
+    }
+    if prefix == "o":
+        columns["o_elevation"] = rng.gamma(2.0, 300.0, n_rows)
+    for column, table, _card, _scalable in _CATEGORICAL_SPEC:
+        if table == table_name:
+            columns[column] = categorical_column(
+                rng, n_rows, min(cardinalities[column], n_rows), column)
+    return Table.from_arrays(**columns)
+
+
+def _labels(rng: np.random.Generator, dataset: Dataset) -> np.ndarray:
+    """Delay propensity from season/carrier/airport/time signals."""
+    joined = dataset.joined()
+    dep_block = category_codes(joined.array("dep_block")).astype(np.float64)
+    score = (
+        0.08 * dep_block
+        + 0.0004 * (joined.array("distance") - 900.0)
+        + 0.5 * np.isin(joined.array("season"), ["season_0"])
+        + 0.3 * np.isin(joined.array("o_hub"), ["o_hub_0"])
+        + 0.03 * (joined.array("fleet_age") - 12.0)
+        + 0.2 * np.isin(joined.array("carrier_code"),
+                        ["carrier_code_0", "carrier_code_1"])
+        - 0.004 * (joined.array("scheduled_time") - 150.0)
+    )
+    return binary_label(rng, score, noise=0.6, positive_rate=0.3)

@@ -1,0 +1,117 @@
+"""Hospital length-of-stay dataset (Table 1: 1 table, 24 inputs = 9 numeric
++ 15 categorical, 59 features after encoding = 9 + 50).
+
+Schema modeled on Microsoft's "Predicting Length of Stay in Hospitals"
+dataset. Categorical cardinalities sum to exactly 50:
+
+=====================  ============
+column                 cardinality
+=====================  ============
+rcount                 6   (readmission count — the paper's 6-way
+                            partitioning column)
+gender                 2
+facid                  10  (facility id)
+secondary_diagnosis    10
+11 condition flags     2 each (22)
+=====================  ============
+
+``num_issues`` (numeric, values {0,1}) is the paper's 2-way partitioning
+column. The label's latent score mixes strong terms (rcount, num_issues,
+pulse), medium terms (bmi, glucose, two flags) and weak terms over the
+remaining columns so deeper trees progressively consume more inputs
+(Fig. 10's unused-column counts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.datasets.synth import Dataset, binary_label, categorical_column, category_codes
+from repro.storage.table import Table
+
+NUMERIC_INPUTS = [
+    "hematocrit", "neutrophils", "sodium", "glucose", "bloodureanitro",
+    "creatinine", "bmi", "pulse", "num_issues",
+]
+FLAG_COLUMNS = [
+    "dialysisrenalendstage", "asthma", "irondef", "pneum", "substancedependence",
+    "psychologicaldisordermajor", "depress", "psychother", "fibrosisandother",
+    "malnutrition", "hemo",
+]
+CATEGORICAL_INPUTS = ["rcount", "gender", "facid", "secondary_diagnosis"] \
+    + FLAG_COLUMNS
+
+
+def generate(n_rows: int = 100_000, seed: int = 0) -> Dataset:
+    """Generate the synthetic Hospital dataset."""
+    rng = np.random.default_rng(seed)
+    columns: Dict[str, np.ndarray] = {
+        "eid": np.arange(n_rows, dtype=np.int64),
+        "hematocrit": rng.normal(40.0, 5.5, n_rows),
+        "neutrophils": rng.normal(9.0, 4.0, n_rows),
+        "sodium": rng.normal(138.0, 3.0, n_rows),
+        "glucose": rng.normal(140.0, 30.0, n_rows),
+        "bloodureanitro": rng.gamma(4.0, 3.5, n_rows),
+        "creatinine": rng.normal(1.1, 0.3, n_rows),
+        "bmi": rng.normal(29.0, 6.0, n_rows),
+        "pulse": rng.normal(73.0, 12.0, n_rows),
+        "num_issues": (rng.random(n_rows) < 0.45).astype(np.float64),
+        "rcount": categorical_column(rng, n_rows, 6, "r", skew=0.8),
+        "gender": rng.choice(np.asarray(["F", "M"]), n_rows),
+        "facid": categorical_column(rng, n_rows, 10, "fac", skew=0.6),
+        "secondary_diagnosis": categorical_column(rng, n_rows, 10, "diag"),
+    }
+    for flag in FLAG_COLUMNS:
+        rate = rng.uniform(0.05, 0.35)
+        columns[flag] = np.where(rng.random(n_rows) < rate, "yes", "no")
+
+    score = _latent_score(columns, rng)
+    label = binary_label(rng, score, noise=0.55, positive_rate=0.4)
+
+    table = Table.from_arrays(**columns)
+    return Dataset(
+        name="hospital",
+        tables={"hospital_stays": table},
+        fact_table="hospital_stays",
+        primary_keys={"hospital_stays": ["eid"]},
+        join_spec=[],
+        numeric_inputs=list(NUMERIC_INPUTS),
+        categorical_inputs=list(CATEGORICAL_INPUTS),
+        label=label,
+        partition_columns=["num_issues", "rcount"],
+    )
+
+
+def _latent_score(columns: Dict[str, np.ndarray],
+                  rng: np.random.Generator) -> np.ndarray:
+    """Hierarchical signal: strong > medium > weak feature dependencies."""
+    rcount = category_codes(columns["rcount"]).astype(np.float64)
+    score = (
+        # Strong terms — shallow trees capture these first.
+        0.9 * rcount
+        + 1.4 * columns["num_issues"]
+        + 0.045 * (columns["pulse"] - 73.0)
+        # Medium terms.
+        + 0.05 * (columns["bmi"] - 29.0)
+        + 0.008 * (columns["glucose"] - 140.0)
+        + 0.6 * (columns["psychologicaldisordermajor"] == "yes")
+        + 0.5 * (columns["hemo"] == "yes")
+        + 0.3 * (columns["gender"] == "M")
+    )
+    # Weak terms over every remaining input: deep trees pick them up.
+    weak_numeric = ["hematocrit", "neutrophils", "sodium", "bloodureanitro",
+                    "creatinine"]
+    for index, name in enumerate(weak_numeric):
+        values = columns[name]
+        score = score + (0.05 - 0.005 * index) * \
+            (values - values.mean()) / (values.std() + 1e-9)
+    weak_flags = [f for f in FLAG_COLUMNS
+                  if f not in ("psychologicaldisordermajor", "hemo")]
+    for index, flag in enumerate(weak_flags):
+        score = score + (0.14 - 0.01 * index) * (columns[flag] == "yes")
+    facid = category_codes(columns["facid"]).astype(np.float64)
+    diagnosis = category_codes(columns["secondary_diagnosis"]).astype(np.float64)
+    score = score + 0.02 * facid + 0.015 * diagnosis
+    return score

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`RavenError` so that
+callers can catch a single base class. Sub-errors are organized by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class RavenError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(RavenError):
+    """A table, column, or type does not match what an operation expects."""
+
+
+class CatalogError(RavenError):
+    """Unknown table/model name, duplicate registration, or bad metadata."""
+
+
+class ParseError(RavenError):
+    """The SQL text could not be parsed.
+
+    Carries the offending position so callers can point at the source.
+    """
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        self.position = position
+        self.text = text
+        if position >= 0 and text:
+            line = text.count("\n", 0, position) + 1
+            col = position - (text.rfind("\n", 0, position) + 1) + 1
+            message = f"{message} (line {line}, column {col})"
+        super().__init__(message)
+
+
+class PlanError(RavenError):
+    """A logical plan is malformed or cannot be bound against the catalog."""
+
+
+class ExecutionError(RavenError):
+    """A plan failed while executing."""
+
+
+class ExpressionError(RavenError):
+    """A scalar expression is ill-typed or references unknown columns."""
+
+
+class GraphError(RavenError):
+    """An onnxlite graph is malformed (dangling edges, bad attributes...)."""
+
+
+class UnsupportedOperatorError(GraphError):
+    """An operator is not supported by a converter, rule, or runtime.
+
+    Raven's contract (paper §3): models with unsupported operators are
+    *executed but not optimized*; rules raise this error and the optimizer
+    falls back to the unoptimized path.
+    """
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative solver stopped before reaching its tolerance."""
+
+
+class NotFittedError(RavenError):
+    """A learn estimator was used before ``fit`` was called."""
+
+
+class CompileError(RavenError):
+    """A model could not be compiled to SQL or to a tensor program."""

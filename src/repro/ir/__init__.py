@@ -1,0 +1,15 @@
+"""Unified IR views, printers, and corpus statistics (paper §3, Fig. 1)."""
+
+from repro.ir.printer import ir_to_dot, ir_to_text
+from repro.ir.stats import (
+    FIG1_METRICS,
+    BoxplotSummary,
+    corpus_fig1_summary,
+    graph_fig1_metrics,
+)
+from repro.ir.unified import IRNode, UnifiedIR
+
+__all__ = [
+    "BoxplotSummary", "FIG1_METRICS", "IRNode", "UnifiedIR",
+    "corpus_fig1_summary", "graph_fig1_metrics", "ir_to_dot", "ir_to_text",
+]

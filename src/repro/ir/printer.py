@@ -1,0 +1,40 @@
+"""Renderers for the unified IR: indented text and Graphviz dot."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.unified import IRNode, UnifiedIR
+
+
+def ir_to_text(ir: UnifiedIR) -> str:
+    """Topologically-ordered listing, one node per line."""
+    lines = []
+    for node in ir.nodes():
+        children = ", ".join(str(c) for c in node.children)
+        tag = "R" if node.kind == "relational" else "M"
+        lines.append(f"[{node.id:>3}] {tag} {node.op:<24} {node.detail}"
+                     + (f"  <- [{children}]" if children else ""))
+    return "\n".join(lines)
+
+
+def ir_to_dot(ir: UnifiedIR, name: str = "raven_ir") -> str:
+    """Graphviz dot output; relational nodes are boxes, ML nodes ellipses."""
+    lines = [f"digraph {name} {{", "  rankdir=BT;"]
+    for node in ir.nodes():
+        shape = "box" if node.kind == "relational" else "ellipse"
+        fill = "lightblue" if node.kind == "relational" else "lightyellow"
+        label = node.op if not node.detail else f"{node.op}\\n{_escape(node.detail)}"
+        lines.append(
+            f'  n{node.id} [label="{label}", shape={shape}, '
+            f'style=filled, fillcolor={fill}];'
+        )
+    for node in ir.nodes():
+        for child in node.children:
+            lines.append(f"  n{child} -> n{node.id};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', "'").replace("\\", "/")[:60]

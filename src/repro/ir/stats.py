@@ -1,0 +1,90 @@
+"""Pipeline-corpus statistics — the measurements behind the paper's Fig. 1.
+
+Computes, for a population of trained pipelines, the seven statistics the
+paper plots over ~500 OpenML CC-18 pipelines: #operators, #inputs,
+#features, %unused features, #tree nodes, #trees, and average tree depth —
+as (min, p25, median, p75, max) boxplot summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.strategies.features import pipeline_statistics
+from repro.onnxlite.graph import Graph
+
+FIG1_METRICS = [
+    "n_operators",
+    "n_inputs",
+    "n_features",
+    "pct_unused_features",
+    "n_tree_nodes",
+    "n_trees",
+    "avg_tree_depth",
+]
+
+
+@dataclass(frozen=True)
+class BoxplotSummary:
+    """Five-number summary, as drawn in the paper's boxplots."""
+
+    metric: str
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, metric: str, values: Sequence[float]) -> "BoxplotSummary":
+        array = np.asarray(list(values), dtype=np.float64)
+        return cls(
+            metric=metric,
+            minimum=float(array.min()),
+            p25=float(np.percentile(array, 25)),
+            median=float(np.percentile(array, 50)),
+            p75=float(np.percentile(array, 75)),
+            maximum=float(array.max()),
+        )
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "metric": self.metric, "min": self.minimum, "p25": self.p25,
+            "median": self.median, "p75": self.p75, "max": self.maximum,
+        }
+
+
+def graph_fig1_metrics(graph: Graph) -> Dict[str, float]:
+    """The Fig. 1 metrics for a single pipeline."""
+    stats = pipeline_statistics(graph)
+    return {
+        "n_operators": stats["n_operators"],
+        "n_inputs": stats["n_inputs"],
+        "n_features": stats["n_features"],
+        "pct_unused_features": 100.0 * stats["frac_unused_features"],
+        "n_tree_nodes": stats["total_tree_nodes"],
+        "n_trees": stats["n_trees"],
+        "avg_tree_depth": stats["mean_tree_depth"],
+    }
+
+
+def corpus_fig1_summary(graphs: Sequence[Graph]) -> List[BoxplotSummary]:
+    """Boxplot summaries over a pipeline corpus (one per Fig. 1 metric).
+
+    Tree-specific metrics (``n_tree_nodes``, ``n_trees``, ``avg_tree_depth``)
+    summarize only the tree-based pipelines, matching the figure's
+    annotation "tree-based models".
+    """
+    per_graph = [graph_fig1_metrics(graph) for graph in graphs]
+    summaries = []
+    tree_only = {"n_tree_nodes", "n_trees", "avg_tree_depth"}
+    for metric in FIG1_METRICS:
+        values = [m[metric] for m in per_graph
+                  if metric not in tree_only or m["n_trees"] > 0]
+        if not values:
+            values = [0.0]
+        summaries.append(BoxplotSummary.from_values(metric, values))
+    return summaries

@@ -1,0 +1,119 @@
+"""The unified IR view (paper §3).
+
+Raven's IR is "ONNX extended with relational operators": structurally, a
+logical plan whose Predict operators embed onnxlite graphs. This module
+provides the *single-DAG view* over that structure — every relational
+operator and every ML operator as one node stream — which is what the
+printer, the statistics module, and coverage analyses consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.relational.logical import PlanNode, Predict, walk
+from repro.storage.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class IRNode:
+    """One node of the unified DAG.
+
+    ``kind`` is ``"relational"`` or ``"ml"``; ``op`` the operator name
+    (``Filter``, ``Join``, ``Scaler``, ``TreeEnsembleClassifier``...);
+    ``detail`` a short human-readable annotation; ``children`` the ids of
+    upstream nodes (data flows child -> node).
+    """
+
+    id: int
+    kind: str
+    op: str
+    detail: str = ""
+    children: tuple = ()
+
+
+class UnifiedIR:
+    """A query's combined relational + ML operator DAG."""
+
+    def __init__(self, plan: PlanNode, catalog: Optional[Catalog] = None):
+        self.plan = plan
+        self.catalog = catalog
+        self._nodes: List[IRNode] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        next_id = [0]
+
+        def fresh() -> int:
+            next_id[0] += 1
+            return next_id[0] - 1
+
+        def visit_plan(node: PlanNode) -> int:
+            child_ids = tuple(visit_plan(child) for child in node.children())
+            if isinstance(node, Predict):
+                # Splice the ML graph between the relational child and the
+                # Predict boundary node.
+                ml_output_ids = visit_graph(node, child_ids)
+                me = fresh()
+                self._nodes.append(IRNode(
+                    me, "relational", "Predict",
+                    detail=f"model={node.model_name} mode={node.mode.value}",
+                    children=tuple(ml_output_ids)))
+                return me
+            me = fresh()
+            self._nodes.append(IRNode(
+                me, "relational", type(node).__name__,
+                detail=node._label(), children=child_ids))
+            return me
+
+        def visit_graph(predict: Predict, relational_children) -> List[int]:
+            graph = predict.graph
+            edge_producer: Dict[str, int] = {}
+            for info in graph.inputs:
+                me = fresh()
+                column = predict.input_mapping.get(info.name, "?")
+                self._nodes.append(IRNode(
+                    me, "ml", "Input",
+                    detail=f"{info.name} <- {column}",
+                    children=relational_children))
+                edge_producer[info.name] = me
+            for node in graph.topological_nodes():
+                me = fresh()
+                children = tuple(edge_producer[e] for e in node.inputs
+                                 if e in edge_producer)
+                self._nodes.append(IRNode(
+                    me, "ml", node.op_type, detail=node.name,
+                    children=children))
+                for output in node.outputs:
+                    edge_producer[output] = me
+            return [edge_producer[name] for name in graph.outputs
+                    if name in edge_producer]
+
+        visit_plan(self.plan)
+
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[IRNode]:
+        return list(self._nodes)
+
+    def __iter__(self) -> Iterator[IRNode]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def operator_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for node in self._nodes:
+            counts[node.op] = counts.get(node.op, 0) + 1
+        return counts
+
+    def relational_nodes(self) -> List[IRNode]:
+        return [node for node in self._nodes if node.kind == "relational"]
+
+    def ml_nodes(self) -> List[IRNode]:
+        return [node for node in self._nodes if node.kind == "ml"]
+
+    def predicts(self) -> List[Predict]:
+        return [node for node in walk(self.plan) if isinstance(node, Predict)]

@@ -1,0 +1,119 @@
+"""Estimator base classes and shared helpers for the mini-sklearn package.
+
+``repro.learn`` is a from-scratch reimplementation of the subset of
+scikit-learn the paper's pipelines use (paper §2.1/§7: featurizers, linear
+models, tree-based models). It follows the familiar fit/transform/predict
+API so the converter in ``repro.onnxlite.convert`` mirrors skl2onnx.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+
+def check_fitted(estimator, attribute: str) -> None:
+    """Raise :class:`NotFittedError` unless ``attribute`` was set by fit."""
+    if getattr(estimator, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(estimator).__name__} must be fitted before use"
+        )
+
+
+def as_2d_float(X) -> np.ndarray:
+    """Coerce input features to a 2-D float64 matrix."""
+    array = np.asarray(X, dtype=np.float64)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise ValueError(f"expected 2-D feature matrix, got shape {array.shape}")
+    return array
+
+
+def as_1d(y) -> np.ndarray:
+    """Coerce labels/targets to a 1-D array."""
+    array = np.asarray(y)
+    if array.ndim != 1:
+        array = array.ravel()
+    return array
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z, dtype=np.float64)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+def softmax(z: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-subtraction for stability."""
+    shifted = z - z.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class BaseEstimator:
+    """Parameter introspection shared by all estimators."""
+
+    def get_params(self) -> dict:
+        """Constructor parameters (anything not set by fit, no underscore)."""
+        return {
+            key: value for key, value in vars(self).items()
+            if not key.endswith("_") and not key.startswith("_")
+        }
+
+    def __repr__(self):
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params().items()))
+        return f"{type(self).__name__}({params})"
+
+
+class ClassifierMixin:
+    """Adds ``predict`` (argmax over probabilities) and ``score``."""
+
+    classes_: Optional[np.ndarray] = None
+
+    def predict_proba(self, X) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def predict(self, X) -> np.ndarray:
+        probabilities = self.predict_proba(X)
+        check_fitted(self, "classes_")
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+    def score(self, X, y) -> float:
+        return float(np.mean(self.predict(X) == as_1d(y)))
+
+
+class RegressorMixin:
+    """Adds R^2 ``score`` for regressors."""
+
+    def predict(self, X) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def score(self, X, y) -> float:
+        y = as_1d(y).astype(np.float64)
+        predictions = self.predict(X)
+        residual = np.sum((y - predictions) ** 2)
+        total = np.sum((y - y.mean()) ** 2)
+        if total == 0:
+            return 0.0
+        return float(1.0 - residual / total)
+
+
+class TransformerMixin:
+    """Adds ``fit_transform``."""
+
+    def fit(self, X, y=None):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def transform(self, X) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X, y).transform(X)

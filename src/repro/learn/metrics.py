@@ -1,0 +1,88 @@
+"""Evaluation metrics (accuracy, AUC, log loss, precision/recall/F1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learn.base import as_1d
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exact matches."""
+    y_true, y_pred = as_1d(y_true), as_1d(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ValueError("length mismatch")
+    if len(y_true) == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))
+
+
+def roc_auc_score(y_true, y_score) -> float:
+    """Binary AUC via the rank statistic (Mann-Whitney U).
+
+    ``y_true`` holds {0,1} (or two sortable labels, larger = positive);
+    ties in scores receive average ranks.
+    """
+    y_true = as_1d(y_true)
+    y_score = as_1d(y_score).astype(np.float64)
+    classes = np.unique(y_true)
+    if len(classes) != 2:
+        raise ValueError("roc_auc_score needs exactly two classes present")
+    positive = y_true == classes[1]
+    n_pos = int(positive.sum())
+    n_neg = len(y_true) - n_pos
+    order = np.argsort(y_score, kind="stable")
+    ranks = np.empty(len(y_score), dtype=np.float64)
+    ranks[order] = np.arange(1, len(y_score) + 1)
+    # Average ranks over tied scores.
+    sorted_scores = y_score[order]
+    boundaries = np.concatenate([[0], np.nonzero(sorted_scores[1:] != sorted_scores[:-1])[0] + 1,
+                                 [len(y_score)]])
+    for start, stop in zip(boundaries[:-1], boundaries[1:]):
+        if stop - start > 1:
+            ranks[order[start:stop]] = (start + 1 + stop) / 2.0
+    rank_sum = ranks[positive].sum()
+    u_statistic = rank_sum - n_pos * (n_pos + 1) / 2.0
+    return float(u_statistic / (n_pos * n_neg))
+
+
+def log_loss(y_true, y_proba, eps: float = 1e-15) -> float:
+    """Binary or multiclass cross entropy over probability matrices."""
+    y_true = as_1d(y_true)
+    proba = np.asarray(y_proba, dtype=np.float64)
+    if proba.ndim == 1:
+        proba = np.column_stack([1 - proba, proba])
+    proba = np.clip(proba, eps, 1 - eps)
+    classes = np.unique(y_true)
+    codes = np.searchsorted(classes, y_true)
+    picked = proba[np.arange(len(y_true)), codes]
+    return float(-np.mean(np.log(picked)))
+
+
+def _binary_counts(y_true, y_pred, positive_label):
+    y_true, y_pred = as_1d(y_true), as_1d(y_pred)
+    tp = int(np.sum((y_pred == positive_label) & (y_true == positive_label)))
+    fp = int(np.sum((y_pred == positive_label) & (y_true != positive_label)))
+    fn = int(np.sum((y_pred != positive_label) & (y_true == positive_label)))
+    return tp, fp, fn
+
+
+def precision_score(y_true, y_pred, positive_label=1) -> float:
+    """TP / (TP + FP) for the positive class."""
+    tp, fp, _ = _binary_counts(y_true, y_pred, positive_label)
+    return tp / (tp + fp) if tp + fp else 0.0
+
+
+def recall_score(y_true, y_pred, positive_label=1) -> float:
+    """TP / (TP + FN) for the positive class."""
+    tp, _, fn = _binary_counts(y_true, y_pred, positive_label)
+    return tp / (tp + fn) if tp + fn else 0.0
+
+
+def f1_score(y_true, y_pred, positive_label=1) -> float:
+    """Harmonic mean of precision and recall."""
+    precision = precision_score(y_true, y_pred, positive_label)
+    recall = recall_score(y_true, y_pred, positive_label)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)

@@ -1,0 +1,171 @@
+"""Pipelines and column transformers over named columns.
+
+The paper's trained pipelines (Fig. 2) are: per-column featurizers (scaler
+for numeric inputs, one-hot for categorical), a Concat, and a final model.
+:class:`ColumnTransformer` + :class:`Pipeline` build exactly that shape, and
+``repro.onnxlite.convert`` maps it 1-1 onto the ONNX-style operator graph.
+
+Inputs are column-named data: a ``repro.storage.Table`` or a mapping from
+column name to 1-D numpy array.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import NotFittedError, SchemaError
+from repro.learn.base import BaseEstimator
+from repro.storage.table import Table
+
+ColumnData = Union[Table, Mapping[str, np.ndarray]]
+
+
+def _get_column(data: ColumnData, name: str) -> np.ndarray:
+    if isinstance(data, Table):
+        return data.array(name)
+    if name not in data:
+        raise SchemaError(f"input has no column {name!r}")
+    return np.asarray(data[name])
+
+
+def _stack_columns(data: ColumnData, names: Sequence[str]) -> np.ndarray:
+    columns = [_get_column(data, name) for name in names]
+    return np.column_stack(columns)
+
+
+class ColumnTransformer(BaseEstimator):
+    """Apply one transformer per named column group and concatenate.
+
+    ``transformers`` is a list of ``(name, transformer, column_names)``. The
+    output feature order is the concatenation of each group's output, in
+    list order — the same order the Concat node of the converted graph uses.
+    """
+
+    def __init__(self, transformers: Sequence[Tuple[str, object, Sequence[str]]]):
+        if not transformers:
+            raise ValueError("ColumnTransformer needs at least one transformer")
+        self.transformers = [(name, trans, list(cols))
+                             for name, trans, cols in transformers]
+        self.fitted_: bool = False
+        self.output_slices_: Optional[List[Tuple[str, slice]]] = None
+
+    @property
+    def input_columns(self) -> List[str]:
+        out: List[str] = []
+        for _, _, cols in self.transformers:
+            out.extend(cols)
+        return out
+
+    def fit(self, data: ColumnData, y=None) -> "ColumnTransformer":
+        position = 0
+        self.output_slices_ = []
+        for name, transformer, cols in self.transformers:
+            matrix = _stack_columns(data, cols)
+            transformer.fit(matrix)
+            width = transformer.transform(matrix[:1]).shape[1]
+            self.output_slices_.append((name, slice(position, position + width)))
+            position += width
+        self.fitted_ = True
+        return self
+
+    def transform(self, data: ColumnData) -> np.ndarray:
+        if not self.fitted_:
+            raise NotFittedError("ColumnTransformer must be fitted before use")
+        blocks = []
+        for _, transformer, cols in self.transformers:
+            matrix = _stack_columns(data, cols)
+            blocks.append(np.asarray(transformer.transform(matrix), dtype=np.float64))
+        return np.concatenate(blocks, axis=1)
+
+    def fit_transform(self, data: ColumnData, y=None) -> np.ndarray:
+        return self.fit(data, y).transform(data)
+
+    @property
+    def n_output_features_(self) -> int:
+        if self.output_slices_ is None:
+            raise NotFittedError("ColumnTransformer must be fitted before use")
+        return self.output_slices_[-1][1].stop
+
+
+class Pipeline(BaseEstimator):
+    """A chain of transformers ending in an estimator.
+
+    Intermediate steps must implement ``fit``/``transform``; the last step is
+    the model (``fit``/``predict``[. ``predict_proba``]).
+    """
+
+    def __init__(self, steps: Sequence[Tuple[str, object]]):
+        if not steps:
+            raise ValueError("Pipeline needs at least one step")
+        names = [name for name, _ in steps]
+        if len(set(names)) != len(names):
+            raise ValueError("step names must be unique")
+        self.steps = list(steps)
+
+    @property
+    def named_steps(self) -> Dict[str, object]:
+        return dict(self.steps)
+
+    @property
+    def final_estimator(self) -> object:
+        return self.steps[-1][1]
+
+    def _transform_through(self, data, up_to: int):
+        current = data
+        for _, transformer in self.steps[:up_to]:
+            current = transformer.transform(current)
+        return current
+
+    def fit(self, data, y=None) -> "Pipeline":
+        current = data
+        for _, transformer in self.steps[:-1]:
+            current = transformer.fit(current, y).transform(current) \
+                if hasattr(transformer, "fit") else transformer.transform(current)
+        model = self.final_estimator
+        if y is None:
+            model.fit(current)
+        else:
+            model.fit(current, y)
+        return self
+
+    def transform(self, data):
+        current = self._transform_through(data, len(self.steps) - 1)
+        final = self.final_estimator
+        if hasattr(final, "transform"):
+            return final.transform(current)
+        return current
+
+    def predict(self, data) -> np.ndarray:
+        current = self._transform_through(data, len(self.steps) - 1)
+        return self.final_estimator.predict(current)
+
+    def predict_proba(self, data) -> np.ndarray:
+        current = self._transform_through(data, len(self.steps) - 1)
+        return self.final_estimator.predict_proba(current)
+
+    def score(self, data, y) -> float:
+        current = self._transform_through(data, len(self.steps) - 1)
+        return self.final_estimator.score(current, y)
+
+
+def make_standard_pipeline(model: object,
+                           numeric_columns: Sequence[str],
+                           categorical_columns: Sequence[str]) -> Pipeline:
+    """The paper's canonical pipeline shape (§7, "Trained pipelines"):
+    standard-scale numeric inputs, one-hot encode categorical inputs,
+    concatenate, then the model."""
+    from repro.learn.preprocessing import OneHotEncoder, StandardScaler
+
+    transformers: List[Tuple[str, object, Sequence[str]]] = []
+    if numeric_columns:
+        transformers.append(("num", StandardScaler(), list(numeric_columns)))
+    if categorical_columns:
+        transformers.append(("cat", OneHotEncoder(), list(categorical_columns)))
+    if not transformers:
+        raise ValueError("need at least one input column")
+    return Pipeline([
+        ("features", ColumnTransformer(transformers)),
+        ("model", model),
+    ])

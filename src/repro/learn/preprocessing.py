@@ -1,0 +1,223 @@
+"""Featurizers: scalers, encoders, normalizers.
+
+These are the pre-processing operators the paper's pipelines contain
+(Fig. 2: Scaler, OneHotEncoder, Concat) and that Raven's rules must push
+predicates and projections through (§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.learn.base import BaseEstimator, TransformerMixin, as_2d_float, check_fitted
+
+
+class StandardScaler(BaseEstimator, TransformerMixin):
+    """Standardize features to zero mean and unit variance.
+
+    ``transform(x) = (x - mean_) * (1 / scale_)``, matching the ONNX Scaler
+    operator's ``(x - offset) * scale`` form used throughout the paper.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X, y=None) -> "StandardScaler":
+        X = as_2d_float(X)
+        n_features = X.shape[1]
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(n_features)
+        if self.with_std:
+            std = X.std(axis=0)
+            std[std == 0] = 1.0  # constant features pass through unscaled
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(n_features)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "mean_")
+        X = as_2d_float(X)
+        return (X - self.mean_) / self.scale_
+
+
+class MinMaxScaler(BaseEstimator, TransformerMixin):
+    """Scale features into [0, 1] by the observed min/max."""
+
+    def __init__(self):
+        self.data_min_: Optional[np.ndarray] = None
+        self.data_range_: Optional[np.ndarray] = None
+
+    def fit(self, X, y=None) -> "MinMaxScaler":
+        X = as_2d_float(X)
+        self.data_min_ = X.min(axis=0)
+        data_range = X.max(axis=0) - self.data_min_
+        data_range[data_range == 0] = 1.0
+        self.data_range_ = data_range
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "data_min_")
+        X = as_2d_float(X)
+        return (X - self.data_min_) / self.data_range_
+
+
+class Normalizer(BaseEstimator, TransformerMixin):
+    """Row-wise normalization to unit L1/L2/max norm (stateless)."""
+
+    def __init__(self, norm: str = "l2"):
+        if norm not in ("l1", "l2", "max"):
+            raise ValueError(f"unknown norm: {norm!r}")
+        self.norm = norm
+
+    def fit(self, X, y=None) -> "Normalizer":
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        X = as_2d_float(X)
+        if self.norm == "l1":
+            norms = np.abs(X).sum(axis=1)
+        elif self.norm == "l2":
+            norms = np.sqrt((X ** 2).sum(axis=1))
+        else:
+            norms = np.abs(X).max(axis=1)
+        norms = np.where(norms == 0, 1.0, norms)
+        return X / norms[:, None]
+
+
+class Binarizer(BaseEstimator, TransformerMixin):
+    """Threshold features to {0, 1} (stateless)."""
+
+    def __init__(self, threshold: float = 0.0):
+        self.threshold = threshold
+
+    def fit(self, X, y=None) -> "Binarizer":
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        return (as_2d_float(X) > self.threshold).astype(np.float64)
+
+
+class SimpleImputer(BaseEstimator, TransformerMixin):
+    """Replace NaN values by a per-column statistic or constant.
+
+    The engine models missing values as NaN in float columns; real-world
+    pipelines (e.g. most OpenML CC-18 ones) start with exactly this step.
+    ``strategy`` is one of ``mean`` / ``median`` / ``constant``.
+    """
+
+    def __init__(self, strategy: str = "mean", fill_value: float = 0.0):
+        if strategy not in ("mean", "median", "constant"):
+            raise ValueError(f"unknown strategy: {strategy!r}")
+        self.strategy = strategy
+        self.fill_value = fill_value
+        self.statistics_: Optional[np.ndarray] = None
+
+    def fit(self, X, y=None) -> "SimpleImputer":
+        X = as_2d_float(X)
+        if self.strategy == "constant":
+            self.statistics_ = np.full(X.shape[1], float(self.fill_value))
+            return self
+        with np.errstate(all="ignore"):
+            if self.strategy == "mean":
+                values = np.nanmean(X, axis=0)
+            else:
+                values = np.nanmedian(X, axis=0)
+        # Columns that are entirely NaN impute to the fill value.
+        values = np.where(np.isnan(values), float(self.fill_value), values)
+        self.statistics_ = values
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "statistics_")
+        X = as_2d_float(X).copy()
+        mask = np.isnan(X)
+        if mask.any():
+            X[mask] = np.broadcast_to(self.statistics_, X.shape)[mask]
+        return X
+
+
+class LabelEncoder(BaseEstimator):
+    """Encode categorical labels as integers 0..K-1 (sorted category order)."""
+
+    def __init__(self):
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, y) -> "LabelEncoder":
+        self.classes_ = np.unique(np.asarray(y))
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        check_fitted(self, "classes_")
+        y = np.asarray(y)
+        codes = np.searchsorted(self.classes_, y)
+        codes = np.clip(codes, 0, len(self.classes_) - 1)
+        matched = self.classes_[codes] == y
+        if not matched.all():
+            unknown = sorted(set(np.asarray(y)[~matched].tolist()))[:5]
+            raise ValueError(f"unseen labels: {unknown}")
+        return codes.astype(np.int64)
+
+    def fit_transform(self, y) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, codes) -> np.ndarray:
+        check_fitted(self, "classes_")
+        return self.classes_[np.asarray(codes, dtype=np.int64)]
+
+
+class OneHotEncoder(BaseEstimator, TransformerMixin):
+    """Dense one-hot encoding of categorical columns.
+
+    Unknown categories at transform time encode to all-zeros (scikit-learn's
+    ``handle_unknown='ignore'``), which is what the paper's pipelines use and
+    what makes equality predicates translate to exact constant one-hot
+    vectors during predicate-based model pruning.
+    """
+
+    def __init__(self):
+        self.categories_: Optional[List[np.ndarray]] = None
+
+    def fit(self, X, y=None) -> "OneHotEncoder":
+        X = _as_2d_object(X)
+        self.categories_ = [np.unique(X[:, j]) for j in range(X.shape[1])]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "categories_")
+        X = _as_2d_object(X)
+        if X.shape[1] != len(self.categories_):
+            raise ValueError(
+                f"expected {len(self.categories_)} columns, got {X.shape[1]}"
+            )
+        blocks = []
+        for j, categories in enumerate(self.categories_):
+            # Broadcast equality against the category vocabulary.
+            block = (X[:, j][:, None] == categories[None, :]).astype(np.float64)
+            blocks.append(block)
+        return np.concatenate(blocks, axis=1) if blocks else np.empty((len(X), 0))
+
+    @property
+    def n_output_features_(self) -> int:
+        check_fitted(self, "categories_")
+        return sum(len(c) for c in self.categories_)
+
+    def category_offsets(self) -> List[int]:
+        """Start index of each input column's block in the output."""
+        check_fitted(self, "categories_")
+        offsets, position = [], 0
+        for categories in self.categories_:
+            offsets.append(position)
+            position += len(categories)
+        return offsets
+
+
+def _as_2d_object(X) -> np.ndarray:
+    array = np.asarray(X)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    return array

@@ -1,0 +1,169 @@
+"""JSON (de)serialization of onnxlite graphs — the ``.onnx`` file stand-in.
+
+Tree ensembles are flattened to ONNX-ML style parallel node arrays
+(``nodes_featureids``, ``nodes_values``, ``nodes_truenodeids``, ...) so the
+on-disk format is structurally faithful to TreeEnsembleClassifier protos.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.learn.tree import TreeNode
+from repro.onnxlite.graph import Graph, Node, TensorInfo
+
+
+# ---------------------------------------------------------------------------
+# Tree <-> flat arrays
+# ---------------------------------------------------------------------------
+
+def flatten_tree(tree: TreeNode) -> dict:
+    """Flatten a TreeNode into parallel arrays (pre-order node ids)."""
+    feature_ids: List[int] = []
+    thresholds: List[float] = []
+    true_ids: List[int] = []
+    false_ids: List[int] = []
+    modes: List[str] = []
+    values: List[List[float]] = []
+    samples: List[int] = []
+
+    def visit(node: TreeNode) -> int:
+        index = len(feature_ids)
+        feature_ids.append(node.feature)
+        thresholds.append(float(node.threshold))
+        modes.append("LEAF" if node.is_leaf else "BRANCH_LEQ")
+        values.append([] if node.value is None else [float(v) for v in node.value])
+        samples.append(int(node.n_samples))
+        true_ids.append(-1)
+        false_ids.append(-1)
+        if not node.is_leaf:
+            true_ids[index] = visit(node.left)
+            false_ids[index] = visit(node.right)
+        return index
+
+    visit(tree)
+    return {
+        "nodes_featureids": feature_ids,
+        "nodes_values": thresholds,
+        "nodes_modes": modes,
+        "nodes_truenodeids": true_ids,
+        "nodes_falsenodeids": false_ids,
+        "leaf_values": values,
+        "nodes_samples": samples,
+    }
+
+
+def unflatten_tree(data: dict) -> TreeNode:
+    """Rebuild a :class:`TreeNode` from its flattened-array form."""
+    feature_ids = data["nodes_featureids"]
+    thresholds = data["nodes_values"]
+    modes = data["nodes_modes"]
+    true_ids = data["nodes_truenodeids"]
+    false_ids = data["nodes_falsenodeids"]
+    values = data["leaf_values"]
+    samples = data.get("nodes_samples", [0] * len(feature_ids))
+
+    def build(index: int) -> TreeNode:
+        if modes[index] == "LEAF":
+            return TreeNode(value=np.asarray(values[index], dtype=np.float64),
+                            n_samples=samples[index])
+        return TreeNode(feature=feature_ids[index],
+                        threshold=thresholds[index],
+                        left=build(true_ids[index]),
+                        right=build(false_ids[index]),
+                        n_samples=samples[index])
+
+    return build(0)
+
+
+# ---------------------------------------------------------------------------
+# Attribute encoding
+# ---------------------------------------------------------------------------
+
+def _encode_attr(value) -> dict:
+    if isinstance(value, np.ndarray):
+        if value.dtype.kind == "U":
+            return {"kind": "string_array", "data": value.tolist()}
+        return {"kind": "array", "data": value.tolist(),
+                "dtype": "int" if value.dtype.kind in "iu" else "float"}
+    if isinstance(value, TreeNode):
+        return {"kind": "tree", "data": flatten_tree(value)}
+    if isinstance(value, list) and value and isinstance(value[0], TreeNode):
+        return {"kind": "trees", "data": [flatten_tree(t) for t in value]}
+    if isinstance(value, (bool, int, float, str)):
+        return {"kind": "scalar", "data": value}
+    if isinstance(value, list):
+        return {"kind": "list", "data": value}
+    raise GraphError(f"cannot serialize attribute of type {type(value).__name__}")
+
+
+def _decode_attr(payload: dict):
+    kind = payload["kind"]
+    data = payload["data"]
+    if kind == "string_array":
+        return np.asarray(data, dtype=np.str_)
+    if kind == "array":
+        dtype = np.int64 if payload.get("dtype") == "int" else np.float64
+        return np.asarray(data, dtype=dtype)
+    if kind == "tree":
+        return unflatten_tree(data)
+    if kind == "trees":
+        return [unflatten_tree(t) for t in data]
+    if kind in ("scalar", "list"):
+        return data
+    raise GraphError(f"unknown attribute kind: {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Graph <-> dict / file
+# ---------------------------------------------------------------------------
+
+def graph_to_dict(graph: Graph) -> dict:
+    """Serialize a graph to a JSON-compatible dict."""
+    return {
+        "format": "repro-onnxlite-v1",
+        "name": graph.name,
+        "inputs": [{"name": i.name, "dtype": i.dtype, "width": i.width}
+                   for i in graph.inputs],
+        "outputs": list(graph.outputs),
+        "nodes": [{
+            "op_type": node.op_type,
+            "name": node.name,
+            "inputs": node.inputs,
+            "outputs": node.outputs,
+            "attrs": {key: _encode_attr(value)
+                      for key, value in node.attrs.items()},
+        } for node in graph.nodes],
+    }
+
+
+def graph_from_dict(payload: dict) -> Graph:
+    """Rebuild (and validate) a graph from :func:`graph_to_dict` output."""
+    if payload.get("format") != "repro-onnxlite-v1":
+        raise GraphError("not an onnxlite graph payload")
+    graph = Graph(
+        payload["name"],
+        [TensorInfo(i["name"], i["dtype"], i["width"]) for i in payload["inputs"]],
+        list(payload["outputs"]),
+    )
+    for spec in payload["nodes"]:
+        attrs = {key: _decode_attr(value) for key, value in spec["attrs"].items()}
+        graph.add_node(Node(spec["op_type"], spec["inputs"], spec["outputs"],
+                            attrs, spec["name"]))
+    graph.validate()
+    return graph
+
+
+def save_graph(graph: Graph, path: Union[str, Path]) -> None:
+    """Write a graph to disk as JSON (the '.onnx file' stand-in)."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph)))
+
+
+def load_graph(path: Union[str, Path]) -> Graph:
+    """Read a graph written by :func:`save_graph`."""
+    return graph_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,326 @@
+"""Vectorized plan execution.
+
+Executes logical plans directly (this engine has no separate physical plan
+layer for relational operators — every operator has exactly one vectorized
+implementation). ML operators are delegated to a pluggable
+``predict_executor`` callback so this module stays independent from the
+model-format packages.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError, PlanError
+from repro.relational.logical import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    PlanNode,
+    Predict,
+    Project,
+    Scan,
+    Sort,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column, DataType
+from repro.storage.table import Table
+
+# predict_executor(node, input_table) -> Table of the node's output columns.
+PredictExecutor = Callable[[Predict, Table], Table]
+
+
+class Executor:
+    """Evaluates plans against a catalog.
+
+    ``scan_restrictions`` optionally restricts named tables to one partition
+    index or a row range — used for per-partition execution (data-induced
+    optimization) and for chunk-parallel execution (DOP).
+    """
+
+    def __init__(self, catalog: Catalog,
+                 predict_executor: Optional[PredictExecutor] = None,
+                 scan_restrictions: Optional[Dict[str, object]] = None):
+        self.catalog = catalog
+        self.predict_executor = predict_executor
+        self.scan_restrictions = scan_restrictions or {}
+
+    # ------------------------------------------------------------------
+    def execute(self, plan: PlanNode) -> Table:
+        method = getattr(self, f"_exec_{type(plan).__name__.lower()}", None)
+        if method is None:
+            raise ExecutionError(f"no executor for operator {type(plan).__name__}")
+        return method(plan)
+
+    # ------------------------------------------------------------------
+    # Leaf
+    # ------------------------------------------------------------------
+    def _exec_scan(self, node: Scan) -> Table:
+        entry = self.catalog.table(node.table_name)
+        restriction = self.scan_restrictions.get(node.table_name)
+        if isinstance(restriction, int):
+            table = entry.data.partitions[restriction].table
+        elif isinstance(restriction, tuple):
+            start, stop = restriction
+            table = entry.data.to_table().slice(start, stop)
+        elif isinstance(restriction, list):
+            # Partition skipping: read only the listed partitions.
+            from repro.storage.table import concat_tables
+            if not restriction:
+                table = entry.data.partitions[0].table.slice(0, 0)
+            else:
+                table = concat_tables([entry.data.partitions[i].table
+                                       for i in restriction])
+        else:
+            table = entry.data.to_table()
+        if node.columns is not None:
+            table = table.select(node.columns)
+        return table.prefix(node.alias)
+
+    # ------------------------------------------------------------------
+    # Row-preserving operators
+    # ------------------------------------------------------------------
+    def _exec_filter(self, node: Filter) -> Table:
+        table = self.execute(node.child)
+        keep = node.predicate.evaluate(table)
+        if keep.dtype != np.bool_:
+            raise ExecutionError("filter predicate did not evaluate to booleans")
+        return table.mask(keep)
+
+    def _exec_project(self, node: Project) -> Table:
+        table = self.execute(node.child)
+        schema = table.schema
+        columns: List[Tuple[str, Column]] = []
+        for name, expr in node.outputs:
+            dtype = expr.output_dtype(schema)
+            columns.append((name, Column(expr.evaluate(table), dtype)))
+        return Table(columns)
+
+    def _exec_limit(self, node: Limit) -> Table:
+        table = self.execute(node.child)
+        return table.slice(0, node.count)
+
+    def _exec_sort(self, node: Sort) -> Table:
+        table = self.execute(node.child)
+        if table.num_rows == 0:
+            return table
+        # np.lexsort sorts by the *last* key first, ascending; encode
+        # descending order by negating factorized codes.
+        sort_keys = []
+        for name, ascending in reversed(node.keys):
+            data = table.array(name)
+            if data.dtype.kind == "U":
+                _, codes = np.unique(data, return_inverse=True)
+                data = codes
+            else:
+                data = data.astype(np.float64, copy=False)
+            sort_keys.append(data if ascending else -data)
+        order = np.lexsort(sort_keys)
+        return table.take(order)
+
+    # ------------------------------------------------------------------
+    # Join
+    # ------------------------------------------------------------------
+    def _exec_join(self, node: Join) -> Table:
+        left = self.execute(node.left)
+        right = self.execute(node.right)
+        left_codes = _composite_codes(left, right, node.left_keys, node.right_keys)
+        left_idx, right_idx, unmatched = _join_indices(*left_codes, how=node.how)
+        if node.how == "inner":
+            out_left = left.take(left_idx)
+            out_right = right.take(right_idx)
+        else:  # left outer: append unmatched left rows with fill values
+            out_left = left.take(np.concatenate([left_idx, unmatched]))
+            matched_right = right.take(right_idx)
+            fill = _fill_table(right.schema, len(unmatched))
+            out_right = Table([
+                (n, matched_right.column(n).concat(fill.column(n)))
+                for n in matched_right.column_names
+            ])
+        columns = list(out_left.columns.items()) + list(out_right.columns.items())
+        return Table(columns)
+
+    # ------------------------------------------------------------------
+    # Aggregate
+    # ------------------------------------------------------------------
+    def _exec_aggregate(self, node: Aggregate) -> Table:
+        table = self.execute(node.child)
+        if not node.group_by:
+            return _global_aggregate(table, node)
+        return _grouped_aggregate(table, node)
+
+    # ------------------------------------------------------------------
+    # Predict
+    # ------------------------------------------------------------------
+    def _exec_predict(self, node: Predict) -> Table:
+        if self.predict_executor is None:
+            raise ExecutionError(
+                "plan contains a Predict operator but no predict executor "
+                "was supplied (use repro.core.session.RavenSession)"
+            )
+        table = self.execute(node.child)
+        outputs = self.predict_executor(node, table)
+        kept_names = (node.keep_columns if node.keep_columns is not None
+                      else table.column_names)
+        columns = [(n, table.column(n)) for n in kept_names]
+        for name, _, _ in node.output_columns:
+            columns.append((name, outputs.column(name)))
+        return Table(columns)
+
+
+# ---------------------------------------------------------------------------
+# Join internals
+# ---------------------------------------------------------------------------
+
+def _factorize_pair(left: np.ndarray, right: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Map two arrays onto shared integer codes (joint dictionary)."""
+    if left.dtype.kind == "U" or right.dtype.kind == "U":
+        left = left.astype(np.str_)
+        right = right.astype(np.str_)
+    combined = np.concatenate([left, right])
+    _, codes = np.unique(combined, return_inverse=True)
+    return codes[: len(left)], codes[len(left):]
+
+
+def _composite_codes(left: Table, right: Table,
+                     left_keys: List[str], right_keys: List[str]):
+    """Collapse (possibly multi-column) join keys to single int code arrays."""
+    left_codes = np.zeros(left.num_rows, dtype=np.int64)
+    right_codes = np.zeros(right.num_rows, dtype=np.int64)
+    for lkey, rkey in zip(left_keys, right_keys):
+        lcol, rcol = _factorize_pair(left.array(lkey), right.array(rkey))
+        radix = int(max(lcol.max(initial=0), rcol.max(initial=0))) + 1
+        left_codes = left_codes * radix + lcol
+        right_codes = right_codes * radix + rcol
+    return left_codes, right_codes
+
+
+def _join_indices(left_codes: np.ndarray, right_codes: np.ndarray,
+                  how: str) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized sorted-probe equi-join.
+
+    Returns (left_idx, right_idx, unmatched_left_idx); matched pairs keep the
+    left relation's row order (stable, like a streaming hash probe).
+    """
+    order = np.argsort(right_codes, kind="stable")
+    sorted_right = right_codes[order]
+    starts = np.searchsorted(sorted_right, left_codes, side="left")
+    ends = np.searchsorted(sorted_right, left_codes, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    left_idx = np.repeat(np.arange(len(left_codes)), counts)
+    if total:
+        cum = np.cumsum(counts)
+        intra = np.arange(total) - np.repeat(cum - counts, counts)
+        right_pos = np.repeat(starts, counts) + intra
+        right_idx = order[right_pos]
+    else:
+        right_idx = np.asarray([], dtype=np.int64)
+    unmatched = np.nonzero(counts == 0)[0] if how == "left" else np.asarray([], dtype=np.int64)
+    return left_idx, right_idx, unmatched
+
+
+def _fill_table(schema, n: int) -> Table:
+    """Fill values for unmatched rows of a left join (engine has no NULLs)."""
+    columns = []
+    for name, dtype in schema:
+        if dtype is DataType.FLOAT:
+            data = np.full(n, np.nan)
+        elif dtype is DataType.INT:
+            data = np.zeros(n, dtype=np.int64)
+        elif dtype is DataType.BOOL:
+            data = np.zeros(n, dtype=np.bool_)
+        else:
+            data = np.full(n, "", dtype=np.str_)
+        columns.append((name, Column(data, dtype)))
+    return Table(columns)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation internals
+# ---------------------------------------------------------------------------
+
+def _agg_values(table: Table, column: Optional[str]) -> Optional[np.ndarray]:
+    if column is None:
+        return None
+    return table.array(column)
+
+
+def _global_aggregate(table: Table, node: Aggregate) -> Table:
+    columns: List[Tuple[str, Column]] = []
+    n = table.num_rows
+    for spec in node.aggregates:
+        values = _agg_values(table, spec.column)
+        if spec.func == "count":
+            result: object = n
+            columns.append((spec.name, Column.ints([result])))
+            continue
+        if values is None:
+            raise PlanError(f"{spec.func} requires a column")
+        if n == 0:
+            columns.append((spec.name, Column.floats([np.nan])))
+            continue
+        if spec.func == "sum":
+            columns.append((spec.name, Column.floats([values.sum()])))
+        elif spec.func == "avg":
+            columns.append((spec.name, Column.floats([values.mean()])))
+        elif spec.func == "min":
+            columns.append((spec.name, Column([values.min()])))
+        else:
+            columns.append((spec.name, Column([values.max()])))
+    return Table(columns)
+
+
+def _grouped_aggregate(table: Table, node: Aggregate) -> Table:
+    # Factorize composite group keys into dense codes 0..G-1.
+    codes = np.zeros(table.num_rows, dtype=np.int64)
+    key_uniques: List[np.ndarray] = []
+    for key in node.group_by:
+        uniques, key_codes = np.unique(table.array(key), return_inverse=True)
+        codes = codes * len(uniques) + key_codes
+        key_uniques.append(uniques)
+    group_codes, codes = np.unique(codes, return_inverse=True)
+    n_groups = len(group_codes)
+    # Representative row per group, to recover key values.
+    representatives = np.zeros(n_groups, dtype=np.int64)
+    representatives[codes[::-1]] = np.arange(table.num_rows - 1, -1, -1)
+
+    columns: List[Tuple[str, Column]] = []
+    for key in node.group_by:
+        columns.append((key, table.column(key).take(representatives)))
+
+    counts = np.bincount(codes, minlength=n_groups)
+    for spec in node.aggregates:
+        if spec.func == "count":
+            columns.append((spec.name, Column.ints(counts)))
+            continue
+        values = table.array(spec.column)  # type: ignore[arg-type]
+        if spec.func in ("sum", "avg"):
+            sums = np.bincount(codes, weights=values.astype(np.float64),
+                               minlength=n_groups)
+            if spec.func == "sum":
+                columns.append((spec.name, Column.floats(sums)))
+            else:
+                columns.append((spec.name, Column.floats(sums / np.maximum(counts, 1))))
+            continue
+        # min/max via sort-reduceat (supports numeric; strings via codes).
+        if values.dtype.kind == "U":
+            raise PlanError("min/max over string columns is not supported")
+        order = np.argsort(codes, kind="stable")
+        sorted_values = values[order]
+        boundaries = np.searchsorted(codes[order], np.arange(n_groups), side="left")
+        if spec.func == "min":
+            reduced = np.minimum.reduceat(sorted_values, boundaries)
+        else:
+            reduced = np.maximum.reduceat(sorted_values, boundaries)
+        columns.append((spec.name, Column(reduced)))
+    return Table(columns)
+
+
+def execute(plan: PlanNode, catalog: Catalog,
+            predict_executor: Optional[PredictExecutor] = None) -> Table:
+    """Convenience one-shot execution."""
+    return Executor(catalog, predict_executor).execute(plan)

@@ -1,0 +1,372 @@
+"""Logical query plans.
+
+A plan is a tree of operators over named, typed columns. Column names are
+fully qualified by the binder (``alias.column``) so that joins never collide
+and rules can track provenance of each column.
+
+The :class:`Predict` operator is the bridge into the ML side of Raven's
+unified IR: it carries the trained pipeline (an onnxlite graph), the mapping
+from graph inputs to child plan columns, and — after runtime selection — a
+physical execution mode annotation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.relational.expressions import Expression
+from repro.storage.catalog import Catalog
+from repro.storage.column import DataType
+from repro.storage.table import Schema
+
+
+class PlanNode:
+    """Base class for logical plan operators."""
+
+    def children(self) -> Tuple["PlanNode", ...]:
+        raise NotImplementedError
+
+    def with_children(self, children: Sequence["PlanNode"]) -> "PlanNode":
+        raise NotImplementedError
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        raise NotImplementedError
+
+    def _label(self) -> str:
+        return type(self).__name__
+
+    def pretty(self, catalog: Optional[Catalog] = None, indent: int = 0) -> str:
+        """Readable indented plan rendering (EXPLAIN-style)."""
+        pad = "  " * indent
+        lines = [pad + self._label()]
+        for child in self.children():
+            lines.append(child.pretty(catalog, indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return self._label()
+
+
+class Scan(PlanNode):
+    """Read a base table; ``columns=None`` reads everything.
+
+    Output column names are qualified with ``alias`` so downstream operators
+    are unambiguous. When the relational optimizer pushes projections all the
+    way down, ``columns`` shrinks — the analogue of avoiding disk reads in
+    the paper.
+    """
+
+    def __init__(self, table_name: str, alias: Optional[str] = None,
+                 columns: Optional[Sequence[str]] = None):
+        self.table_name = table_name
+        self.alias = alias or table_name
+        self.columns = list(columns) if columns is not None else None
+
+    def children(self):
+        return ()
+
+    def with_children(self, children):
+        if children:
+            raise PlanError("Scan takes no children")
+        return self
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        table_schema = catalog.table(self.table_name).schema
+        names = self.columns if self.columns is not None else table_schema.names
+        return Schema([(f"{self.alias}.{n}", table_schema.dtype_of(n)) for n in names])
+
+    def _label(self):
+        cols = "*" if self.columns is None else ", ".join(self.columns)
+        return f"Scan({self.table_name} AS {self.alias}: [{cols}])"
+
+
+class Filter(PlanNode):
+    """Keep rows satisfying a boolean predicate."""
+
+    def __init__(self, child: PlanNode, predicate: Expression):
+        self.child = child
+        self.predicate = predicate
+
+    def children(self):
+        return (self.child,)
+
+    def with_children(self, children):
+        (child,) = children
+        return Filter(child, self.predicate)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def _label(self):
+        return f"Filter({self.predicate!r})"
+
+
+class Project(PlanNode):
+    """Compute named output expressions (projection + computed columns)."""
+
+    def __init__(self, child: PlanNode, outputs: Sequence[Tuple[str, Expression]]):
+        if not outputs:
+            raise PlanError("Project needs at least one output")
+        self.child = child
+        self.outputs = list(outputs)
+
+    def children(self):
+        return (self.child,)
+
+    def with_children(self, children):
+        (child,) = children
+        return Project(child, self.outputs)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        child_schema = self.child.output_schema(catalog)
+        return Schema([(name, expr.output_dtype(child_schema))
+                       for name, expr in self.outputs])
+
+    def output_names(self) -> List[str]:
+        return [name for name, _ in self.outputs]
+
+    def _label(self):
+        items = ", ".join(f"{n}={e!r}" for n, e in self.outputs[:6])
+        more = ", ..." if len(self.outputs) > 6 else ""
+        return f"Project({items}{more})"
+
+
+class Join(PlanNode):
+    """Equi-join on key column lists (inner or left outer)."""
+
+    def __init__(self, left: PlanNode, right: PlanNode,
+                 left_keys: Sequence[str], right_keys: Sequence[str],
+                 how: str = "inner"):
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise PlanError("join needs matching non-empty key lists")
+        if how not in ("inner", "left"):
+            raise PlanError(f"unsupported join type: {how!r}")
+        self.left = left
+        self.right = right
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.how = how
+
+    def children(self):
+        return (self.left, self.right)
+
+    def with_children(self, children):
+        left, right = children
+        return Join(left, right, self.left_keys, self.right_keys, self.how)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        left_schema = self.left.output_schema(catalog)
+        right_schema = self.right.output_schema(catalog)
+        overlap = set(left_schema.names) & set(right_schema.names)
+        if overlap:
+            raise PlanError(f"join sides share column names: {sorted(overlap)}")
+        return Schema(list(left_schema) + list(right_schema))
+
+    def _label(self):
+        keys = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
+        return f"Join[{self.how}]({keys})"
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate output: ``name = func(column)``; column None = COUNT(*)."""
+
+    name: str
+    func: str  # count | sum | avg | min | max
+    column: Optional[str] = None
+
+    _FUNCS = ("count", "sum", "avg", "min", "max")
+
+    def __post_init__(self):
+        if self.func not in self._FUNCS:
+            raise PlanError(f"unknown aggregate function: {self.func!r}")
+        if self.func != "count" and self.column is None:
+            raise PlanError(f"{self.func} requires a column")
+
+
+class Aggregate(PlanNode):
+    """Group-by aggregation. Empty ``group_by`` = global aggregate (one row)."""
+
+    def __init__(self, child: PlanNode, group_by: Sequence[str],
+                 aggregates: Sequence[AggregateSpec]):
+        if not aggregates and not group_by:
+            raise PlanError("aggregate needs group keys or aggregate functions")
+        self.child = child
+        self.group_by = list(group_by)
+        self.aggregates = list(aggregates)
+
+    def children(self):
+        return (self.child,)
+
+    def with_children(self, children):
+        (child,) = children
+        return Aggregate(child, self.group_by, self.aggregates)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        child_schema = self.child.output_schema(catalog)
+        fields: List[Tuple[str, DataType]] = []
+        for key in self.group_by:
+            fields.append((key, child_schema.dtype_of(key)))
+        for spec in self.aggregates:
+            if spec.func == "count":
+                fields.append((spec.name, DataType.INT))
+            elif spec.func in ("min", "max") and spec.column is not None:
+                fields.append((spec.name, child_schema.dtype_of(spec.column)))
+            else:
+                fields.append((spec.name, DataType.FLOAT))
+        return Schema(fields)
+
+    def _label(self):
+        aggs = ", ".join(f"{s.name}={s.func}({s.column or '*'})" for s in self.aggregates)
+        return f"Aggregate(by=[{', '.join(self.group_by)}]; {aggs})"
+
+
+class Sort(PlanNode):
+    """Order rows by one or more keys."""
+
+    def __init__(self, child: PlanNode, keys: Sequence[Tuple[str, bool]]):
+        if not keys:
+            raise PlanError("sort needs at least one key")
+        self.child = child
+        self.keys = list(keys)  # (column, ascending)
+
+    def children(self):
+        return (self.child,)
+
+    def with_children(self, children):
+        (child,) = children
+        return Sort(child, self.keys)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def _label(self):
+        keys = ", ".join(f"{c} {'ASC' if asc else 'DESC'}" for c, asc in self.keys)
+        return f"Sort({keys})"
+
+
+class Limit(PlanNode):
+    """Keep the first ``n`` rows."""
+
+    def __init__(self, child: PlanNode, count: int):
+        if count < 0:
+            raise PlanError("limit must be non-negative")
+        self.child = child
+        self.count = count
+
+    def children(self):
+        return (self.child,)
+
+    def with_children(self, children):
+        (child,) = children
+        return Limit(child, self.count)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def _label(self):
+        return f"Limit({self.count})"
+
+
+class PredictMode(enum.Enum):
+    """Physical execution choice for a Predict operator (paper §5).
+
+    ``ML_RUNTIME`` is the default (invoke the onnxlite runtime via a UDF);
+    ``SQL`` never appears at execution time — the MLtoSQL rule replaces the
+    Predict node by a Project; the DNN modes run the compiled tensor program.
+    """
+
+    ML_RUNTIME = "ml_runtime"
+    DNN_CPU = "dnn_cpu"
+    DNN_GPU = "dnn_gpu"
+
+
+class Predict(PlanNode):
+    """Evaluate a trained pipeline over the child's rows.
+
+    Attributes
+    ----------
+    model_name: catalog name of the model (for display / re-binding).
+    graph: the onnxlite graph (the *optimized* pipeline after Raven rules).
+    input_mapping: graph input name -> child column name.
+    output_columns: (exposed column name, graph output name, dtype) triples,
+        from the ``WITH (name type)`` clause of the PREDICT statement.
+    keep_columns: child columns to carry through alongside predictions
+        (``SELECT d.*, p.score`` keeps everything).
+    mode: physical runtime annotation set by runtime selection.
+    per_partition_graphs: optional partition-specialized graphs installed by
+        the data-induced optimization (paper §4.2).
+    """
+
+    def __init__(self, child: PlanNode, model_name: str, graph: object,
+                 input_mapping: Dict[str, str],
+                 output_columns: Sequence[Tuple[str, str, DataType]],
+                 keep_columns: Optional[Sequence[str]] = None,
+                 mode: PredictMode = PredictMode.ML_RUNTIME,
+                 per_partition_graphs: Optional[List[object]] = None):
+        self.child = child
+        self.model_name = model_name
+        self.graph = graph
+        self.input_mapping = dict(input_mapping)
+        self.output_columns = list(output_columns)
+        self.keep_columns = list(keep_columns) if keep_columns is not None else None
+        self.mode = mode
+        self.per_partition_graphs = per_partition_graphs
+
+    def children(self):
+        return (self.child,)
+
+    def with_children(self, children):
+        (child,) = children
+        return Predict(child, self.model_name, self.graph, self.input_mapping,
+                       self.output_columns, self.keep_columns, self.mode,
+                       self.per_partition_graphs)
+
+    def replace(self, **updates) -> "Predict":
+        """Copy with selected attributes replaced (rules use this)."""
+        node = Predict(self.child, self.model_name, self.graph,
+                       self.input_mapping, self.output_columns,
+                       self.keep_columns, self.mode, self.per_partition_graphs)
+        for key, value in updates.items():
+            if not hasattr(node, key):
+                raise PlanError(f"Predict has no attribute {key!r}")
+            setattr(node, key, value)
+        return node
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        child_schema = self.child.output_schema(catalog)
+        kept = self.keep_columns if self.keep_columns is not None else child_schema.names
+        fields = [(name, child_schema.dtype_of(name)) for name in kept]
+        fields += [(name, dtype) for name, _, dtype in self.output_columns]
+        return Schema(fields)
+
+    def _label(self):
+        outs = ", ".join(name for name, _, _ in self.output_columns)
+        return (f"Predict(model={self.model_name}, mode={self.mode.value}, "
+                f"outputs=[{outs}])")
+
+
+def walk(plan: PlanNode):
+    """Yield every node in the plan, pre-order."""
+    yield plan
+    for child in plan.children():
+        yield from walk(child)
+
+
+def transform_plan(plan: PlanNode, fn) -> PlanNode:
+    """Bottom-up plan rewrite; ``fn`` returns a replacement node or None."""
+    children = plan.children()
+    if children:
+        new_children = [transform_plan(child, fn) for child in children]
+        if any(new is not old for new, old in zip(new_children, children)):
+            plan = plan.with_children(new_children)
+    replacement = fn(plan)
+    return replacement if replacement is not None else plan
+
+
+def find_predict_nodes(plan: PlanNode) -> List[Predict]:
+    """All Predict operators in the plan (queries may invoke several models)."""
+    return [node for node in walk(plan) if isinstance(node, Predict)]

@@ -1,0 +1,142 @@
+"""Chunk-parallel plan execution (degree of parallelism).
+
+The paper's SQL Server experiments compare DOP 1 against DOP 16 (Fig. 8).
+Here DOP is realized by splitting the largest base table into row chunks and
+executing the plan once per chunk on a thread pool (numpy kernels release
+the GIL, so vectorized work overlaps), then merging.
+
+Plans whose root is an Aggregate/Sort/Limit are split into a parallel body
+and a serial tail: the body runs per-chunk, results are concatenated, and
+the tail runs once — the classic partial/final split, kept simple by
+recomputing the final aggregate over the concatenated pre-aggregation rows.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Tuple
+
+from repro.relational.executor import Executor, PredictExecutor
+from repro.relational.logical import (
+    Aggregate,
+    Limit,
+    PlanNode,
+    Scan,
+    Sort,
+    walk,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table, concat_tables
+
+
+def split_serial_tail(plan: PlanNode) -> Tuple[List[PlanNode], PlanNode]:
+    """Peel root operators that must run once, returning (tail-ops, body).
+
+    Tail ops are returned outermost-first; the body is chunk-safe (its output
+    rows are a disjoint union over chunks).
+    """
+    tail: List[PlanNode] = []
+    current = plan
+    while isinstance(current, (Aggregate, Sort, Limit)):
+        tail.append(current)
+        current = current.children()[0]
+    return tail, current
+
+
+def _chunk_ranges(num_rows: int, chunks: int) -> List[Tuple[int, int]]:
+    chunks = max(1, min(chunks, num_rows)) if num_rows else 1
+    size = -(-num_rows // chunks) if num_rows else 0
+    out = []
+    start = 0
+    while start < num_rows:
+        out.append((start, min(start + size, num_rows)))
+        start += size
+    return out or [(0, 0)]
+
+
+def largest_scan(plan: PlanNode, catalog: Catalog) -> Optional[Scan]:
+    """The scan over the table with the most rows (the 'fact' side)."""
+    best: Optional[Scan] = None
+    best_rows = -1
+    for node in walk(plan):
+        if isinstance(node, Scan):
+            rows = catalog.table(node.table_name).num_rows
+            if rows > best_rows:
+                best, best_rows = node, rows
+    return best
+
+
+class ParallelExecutor:
+    """Executes a plan with the requested degree of parallelism.
+
+    Correctness requirement: the chunked table must appear exactly once in
+    the body (true for all star/snowflake prediction queries, where the fact
+    table is scanned once and dimensions are re-read per chunk — a broadcast
+    join). When the condition fails we fall back to serial execution.
+    """
+
+    def __init__(self, catalog: Catalog, dop: int = 1,
+                 predict_executor: Optional[PredictExecutor] = None):
+        if dop < 1:
+            raise ValueError("dop must be >= 1")
+        self.catalog = catalog
+        self.dop = dop
+        self.predict_executor = predict_executor
+
+    def execute(self, plan: PlanNode) -> Table:
+        if self.dop == 1:
+            return Executor(self.catalog, self.predict_executor).execute(plan)
+
+        tail, body = split_serial_tail(plan)
+        target = largest_scan(body, self.catalog)
+        scan_count = sum(1 for node in walk(body)
+                         if isinstance(node, Scan)
+                         and target is not None
+                         and node.table_name == target.table_name)
+        if target is None or scan_count != 1:
+            return Executor(self.catalog, self.predict_executor).execute(plan)
+
+        num_rows = self.catalog.table(target.table_name).num_rows
+        ranges = _chunk_ranges(num_rows, self.dop)
+
+        def run_chunk(row_range: Tuple[int, int]) -> Table:
+            executor = Executor(
+                self.catalog,
+                self.predict_executor,
+                scan_restrictions={target.table_name: row_range},
+            )
+            return executor.execute(body)
+
+        if len(ranges) == 1:
+            pieces = [run_chunk(ranges[0])]
+        else:
+            with ThreadPoolExecutor(max_workers=self.dop) as pool:
+                pieces = list(pool.map(run_chunk, ranges))
+        result = concat_tables(pieces)
+
+        # Serial tail over the concatenated body output.
+        for op in reversed(tail):
+            result = _apply_tail(op, result, self.catalog, self.predict_executor)
+        return result
+
+
+def _apply_tail(op: PlanNode, table: Table, catalog: Catalog,
+                predict_executor: Optional[PredictExecutor]) -> Table:
+    """Run one serial-tail operator over a materialized table."""
+    from repro.relational.logical import PlanNode as _PlanNode
+
+    class _Materialized(_PlanNode):
+        def children(self):
+            return ()
+
+        def with_children(self, children):
+            return self
+
+        def output_schema(self, _catalog):
+            return table.schema
+
+    stub = _Materialized()
+    rebound = op.with_children([stub])
+    executor = Executor(catalog, predict_executor)
+    executor._exec__materialized = lambda node: table  # type: ignore[attr-defined]
+    return executor.execute(rebound)

@@ -1,0 +1,28 @@
+"""Columnar storage substrate: typed columns, tables, stats, partitions.
+
+This package is the stand-in for the storage layer of Spark/SQL Server in
+the paper's evaluation: in-memory columnar tables with per-column min/max
+statistics and optional horizontal partitioning.
+"""
+
+from repro.storage.catalog import Catalog, ModelEntry, TableEntry
+from repro.storage.column import Column, DataType, concat_columns
+from repro.storage.partition import Partition, PartitionedTable
+from repro.storage.statistics import ColumnStats, TableStats
+from repro.storage.table import Schema, Table, concat_tables
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnStats",
+    "DataType",
+    "ModelEntry",
+    "Partition",
+    "PartitionedTable",
+    "Schema",
+    "Table",
+    "TableEntry",
+    "TableStats",
+    "concat_columns",
+    "concat_tables",
+]

@@ -1,0 +1,139 @@
+"""The catalog: named tables, statistics, constraints and models.
+
+The catalog plays the role of the database metadata layer. It stores:
+
+* tables (plain or partitioned) with collected :class:`TableStats`;
+* primary-key declarations, which enable PK-FK join elimination in the
+  relational optimizer;
+* trained models (onnxlite graphs), which the ``PREDICT`` statement
+  references by name — mirroring ``PREDICT(MODEL = covid_risk.onnx, ...)``
+  in the paper's Fig. 2.
+
+Models are stored as opaque objects to keep the storage layer independent of
+the model format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import CatalogError
+from repro.storage.partition import PartitionedTable
+from repro.storage.statistics import TableStats
+from repro.storage.table import Schema, Table
+
+
+@dataclass
+class TableEntry:
+    """Catalog metadata for one registered table."""
+
+    name: str
+    data: PartitionedTable
+    stats: TableStats
+    primary_key: Optional[List[str]] = None
+
+    @property
+    def schema(self) -> Schema:
+        return self.data.partitions[0].table.schema
+
+    @property
+    def num_rows(self) -> int:
+        return self.data.num_rows
+
+
+@dataclass
+class ModelEntry:
+    """Catalog metadata for one registered trained pipeline."""
+
+    name: str
+    graph: object  # repro.onnxlite.graph.Graph (opaque here)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+class Catalog:
+    """Mutable registry of tables and models for a session."""
+
+    def __init__(self):
+        self._tables: Dict[str, TableEntry] = {}
+        self._models: Dict[str, ModelEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def add_table(self, name: str, table: Table | PartitionedTable,
+                  primary_key: Optional[Sequence[str]] = None,
+                  partition_column: Optional[str] = None,
+                  replace: bool = False) -> TableEntry:
+        """Register a table and collect its statistics.
+
+        ``partition_column`` re-partitions a plain table by that column's
+        distinct values (what a user-specified partitioning scheme does in
+        Spark/Parquet, paper §4.2).
+        """
+        if name in self._tables and not replace:
+            raise CatalogError(f"table {name!r} already registered")
+        if isinstance(table, Table):
+            data = PartitionedTable.from_table(table, partition_column)
+        else:
+            data = table
+        schema = data.partitions[0].table.schema
+        if primary_key:
+            for key in primary_key:
+                if key not in schema:
+                    raise CatalogError(
+                        f"primary key column {key!r} not in table {name!r}"
+                    )
+        entry = TableEntry(
+            name=name,
+            data=data,
+            stats=data.global_stats(),
+            primary_key=list(primary_key) if primary_key else None,
+        )
+        self._tables[name] = entry
+        return entry
+
+    def table(self, name: str) -> TableEntry:
+        if name not in self._tables:
+            raise CatalogError(
+                f"unknown table {name!r}; registered: {sorted(self._tables)}"
+            )
+        return self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def drop_table(self, name: str) -> None:
+        self._tables.pop(name, None)
+
+    @property
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------------
+    # Models
+    # ------------------------------------------------------------------
+    def add_model(self, name: str, graph: object, replace: bool = False,
+                  **metadata: object) -> ModelEntry:
+        if name in self._models and not replace:
+            raise CatalogError(f"model {name!r} already registered")
+        entry = ModelEntry(name=name, graph=graph, metadata=dict(metadata))
+        self._models[name] = entry
+        return entry
+
+    def model(self, name: str) -> ModelEntry:
+        if name not in self._models:
+            raise CatalogError(
+                f"unknown model {name!r}; registered: {sorted(self._models)}"
+            )
+        return self._models[name]
+
+    def has_model(self, name: str) -> bool:
+        return name in self._models
+
+    @property
+    def model_names(self) -> List[str]:
+        return sorted(self._models)
+
+    def __repr__(self) -> str:
+        return f"Catalog(tables={self.table_names}, models={self.model_names})"

@@ -1,0 +1,214 @@
+"""Typed columnar data.
+
+A :class:`Column` owns a one-dimensional numpy array together with a logical
+:class:`DataType`. The logical type is what the relational layer reasons
+about; the physical dtype is a numpy representation chosen for vectorized
+execution:
+
+==========  =======================
+logical     physical numpy dtype
+==========  =======================
+FLOAT       ``float64``
+INT         ``int64``
+BOOL        ``bool_``
+STRING      unicode (``<U``) array
+==========  =======================
+
+Strings use numpy unicode arrays rather than object arrays so that equality
+comparisons and ``np.isin`` stay vectorized.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+class DataType(enum.Enum):
+    """Logical column types understood by the engine."""
+
+    FLOAT = "float"
+    INT = "int"
+    BOOL = "bool"
+    STRING = "string"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.FLOAT, DataType.INT)
+
+    @classmethod
+    def from_name(cls, name: str) -> "DataType":
+        """Parse a SQL-ish type name (``float``, ``int``, ``bigint``...)."""
+        normalized = name.strip().lower()
+        aliases = {
+            "float": cls.FLOAT,
+            "double": cls.FLOAT,
+            "real": cls.FLOAT,
+            "decimal": cls.FLOAT,
+            "numeric": cls.FLOAT,
+            "int": cls.INT,
+            "integer": cls.INT,
+            "bigint": cls.INT,
+            "smallint": cls.INT,
+            "tinyint": cls.INT,
+            "bool": cls.BOOL,
+            "boolean": cls.BOOL,
+            "bit": cls.BOOL,
+            "string": cls.STRING,
+            "varchar": cls.STRING,
+            "nvarchar": cls.STRING,
+            "char": cls.STRING,
+            "text": cls.STRING,
+        }
+        if normalized not in aliases:
+            raise SchemaError(f"unknown type name: {name!r}")
+        return aliases[normalized]
+
+
+_NUMPY_KIND_TO_TYPE = {
+    "f": DataType.FLOAT,
+    "i": DataType.INT,
+    "u": DataType.INT,
+    "b": DataType.BOOL,
+    "U": DataType.STRING,
+}
+
+
+def infer_dtype(values: np.ndarray) -> DataType:
+    """Infer the logical type of a numpy array from its dtype kind."""
+    kind = values.dtype.kind
+    if kind == "O":
+        # Object arrays of Python strings are coerced by Column.__init__.
+        return DataType.STRING
+    if kind not in _NUMPY_KIND_TO_TYPE:
+        raise SchemaError(f"unsupported numpy dtype: {values.dtype}")
+    return _NUMPY_KIND_TO_TYPE[kind]
+
+
+def _physical_cast(values: np.ndarray, dtype: DataType) -> np.ndarray:
+    """Coerce ``values`` to the canonical physical dtype for ``dtype``."""
+    if dtype is DataType.FLOAT:
+        return np.asarray(values, dtype=np.float64)
+    if dtype is DataType.INT:
+        return np.asarray(values, dtype=np.int64)
+    if dtype is DataType.BOOL:
+        return np.asarray(values, dtype=np.bool_)
+    if dtype is DataType.STRING:
+        if values.dtype.kind == "U":
+            return values
+        return np.asarray(values, dtype=np.str_)
+    raise SchemaError(f"unsupported logical type: {dtype}")
+
+
+class Column:
+    """An immutable-by-convention 1-D typed array.
+
+    The engine never mutates a column in place; operators build new columns.
+    """
+
+    __slots__ = ("data", "dtype")
+
+    def __init__(self, values: Iterable | np.ndarray, dtype: DataType | None = None):
+        array = np.asarray(values)
+        if array.ndim != 1:
+            raise SchemaError(f"columns must be 1-D, got shape {array.shape}")
+        if dtype is None:
+            dtype = infer_dtype(array)
+        self.data: np.ndarray = _physical_cast(array, dtype)
+        self.dtype: DataType = dtype
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def floats(cls, values: Iterable) -> "Column":
+        return cls(np.asarray(values, dtype=np.float64), DataType.FLOAT)
+
+    @classmethod
+    def ints(cls, values: Iterable) -> "Column":
+        return cls(np.asarray(values, dtype=np.int64), DataType.INT)
+
+    @classmethod
+    def bools(cls, values: Iterable) -> "Column":
+        return cls(np.asarray(values, dtype=np.bool_), DataType.BOOL)
+
+    @classmethod
+    def strings(cls, values: Sequence) -> "Column":
+        return cls(np.asarray(values, dtype=np.str_), DataType.STRING)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(v) for v in self.data[:4])
+        suffix = ", ..." if len(self.data) > 4 else ""
+        return f"Column<{self.dtype.value}>[{preview}{suffix}] (n={len(self)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        return self.dtype is other.dtype and bool(np.array_equal(self.data, other.data))
+
+    def __hash__(self):  # pragma: no cover - columns are not hashable
+        raise TypeError("Column is not hashable")
+
+    # ------------------------------------------------------------------
+    # Operations used by the executor
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "Column":
+        """Gather rows by integer indices."""
+        return Column(self.data[indices], self.dtype)
+
+    def mask(self, predicate: np.ndarray) -> "Column":
+        """Keep rows where the boolean ``predicate`` array is True."""
+        if predicate.dtype != np.bool_:
+            raise SchemaError("mask requires a boolean array")
+        return Column(self.data[predicate], self.dtype)
+
+    def slice(self, start: int, stop: int) -> "Column":
+        return Column(self.data[start:stop], self.dtype)
+
+    def cast(self, dtype: DataType) -> "Column":
+        """Cast to another logical type (numeric<->numeric, ->string, bool->int)."""
+        if dtype is self.dtype:
+            return self
+        if dtype is DataType.STRING:
+            return Column(self.data.astype(np.str_), DataType.STRING)
+        if self.dtype is DataType.STRING:
+            if dtype is DataType.FLOAT:
+                return Column(self.data.astype(np.float64), DataType.FLOAT)
+            if dtype is DataType.INT:
+                return Column(self.data.astype(np.float64).astype(np.int64), DataType.INT)
+            raise SchemaError(f"cannot cast string column to {dtype}")
+        return Column(self.data, dtype)
+
+    def concat(self, other: "Column") -> "Column":
+        if other.dtype is not self.dtype:
+            raise SchemaError(
+                f"cannot concatenate {self.dtype.value} with {other.dtype.value}"
+            )
+        return Column(np.concatenate([self.data, other.data]), self.dtype)
+
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+
+def concat_columns(columns: Sequence[Column]) -> Column:
+    """Concatenate several same-typed columns into one."""
+    if not columns:
+        raise SchemaError("cannot concatenate an empty list of columns")
+    first = columns[0]
+    for col in columns[1:]:
+        if col.dtype is not first.dtype:
+            raise SchemaError("concat_columns requires homogeneous types")
+    if len(columns) == 1:
+        return first
+    data = np.concatenate([c.data for c in columns])
+    return Column(data, first.dtype)

@@ -1,0 +1,118 @@
+"""Horizontal table partitioning.
+
+Big-data systems store data in partitions, typically directory-partitioned
+by one column (paper §4.2). Raven exploits per-partition statistics to
+compile a specialized model for each partition.
+
+:class:`PartitionedTable` holds a list of row-disjoint fragments of a single
+logical table; each fragment carries its own :class:`TableStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.storage.statistics import TableStats
+from repro.storage.table import Table, concat_tables
+
+
+@dataclass
+class Partition:
+    """One fragment of a partitioned table."""
+
+    table: Table
+    stats: TableStats
+    key: object = None  # partition value (or range label) for display
+
+    @property
+    def num_rows(self) -> int:
+        return self.table.num_rows
+
+
+class PartitionedTable:
+    """A logical table stored as row-disjoint partitions.
+
+    The unpartitioned view (``to_table``) concatenates all fragments in
+    partition order; global statistics are the merge of fragment statistics.
+    """
+
+    def __init__(self, partitions: Sequence[Partition], partition_column: Optional[str] = None):
+        if not partitions:
+            raise SchemaError("a partitioned table needs at least one partition")
+        names = partitions[0].table.column_names
+        for part in partitions[1:]:
+            if part.table.column_names != names:
+                raise SchemaError("all partitions must share one schema")
+        self.partitions: List[Partition] = list(partitions)
+        self.partition_column = partition_column
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_table(cls, table: Table, partition_column: Optional[str] = None,
+                   num_partitions: Optional[int] = None) -> "PartitionedTable":
+        """Partition ``table`` by the distinct values of ``partition_column``.
+
+        With no partition column the table becomes a single partition, or
+        ``num_partitions`` equal-sized row chunks when given (the layout of a
+        table that was written in parallel without a partitioning key).
+        """
+        if partition_column is None:
+            if num_partitions is None or num_partitions <= 1:
+                return cls([_make_partition(table, None)])
+            chunks = []
+            n = table.num_rows
+            size = max(1, -(-n // num_partitions))  # ceil division
+            for start in range(0, n, size):
+                chunk = table.slice(start, min(start + size, n))
+                chunks.append(_make_partition(chunk, f"chunk{len(chunks)}"))
+            return cls(chunks)
+
+        values = table.array(partition_column)
+        uniques = np.unique(values)
+        partitions = []
+        for value in uniques:
+            fragment = table.mask(values == value)
+            key = value.item() if hasattr(value, "item") else value
+            if isinstance(value, np.str_):
+                key = str(value)
+            partitions.append(_make_partition(fragment, key))
+        return cls(partitions, partition_column=partition_column)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return sum(p.num_rows for p in self.partitions)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def to_table(self) -> Table:
+        if len(self.partitions) == 1:
+            return self.partitions[0].table
+        return concat_tables([p.table for p in self.partitions])
+
+    def global_stats(self) -> TableStats:
+        stats = self.partitions[0].stats
+        for part in self.partitions[1:]:
+            stats = stats.merge(part.stats)
+        return stats
+
+    def __repr__(self) -> str:
+        keys = [p.key for p in self.partitions]
+        return (
+            f"PartitionedTable({self.num_rows} rows, "
+            f"{self.num_partitions} partitions on {self.partition_column!r}: {keys})"
+        )
+
+
+def _make_partition(table: Table, key: object) -> Partition:
+    return Partition(table=table, stats=TableStats.collect(table), key=key)

@@ -1,0 +1,128 @@
+"""Column- and table-level data statistics.
+
+RDBMSs and big-data engines keep min/max and cardinality statistics per
+column (paper §4.2). Raven's data-induced optimizations consume exactly
+these: min/max intervals induce range predicates that prune tree models,
+and per-partition statistics drive partition-specialized models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.storage.column import Column, DataType
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics for one column.
+
+    ``min_value``/``max_value`` are None for string columns, where instead a
+    bounded sample of distinct values (``categories``) may be recorded; the
+    optimizer uses categories to bound OneHotEncoder outputs.
+    """
+
+    name: str
+    dtype: DataType
+    row_count: int
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+    distinct_count: Optional[int] = None
+    categories: Optional[Tuple[str, ...]] = None
+
+    MAX_TRACKED_CATEGORIES = 256
+
+    @classmethod
+    def collect(cls, name: str, column: Column) -> "ColumnStats":
+        data = column.data
+        n = len(data)
+        if column.dtype.is_numeric or column.dtype is DataType.BOOL:
+            if n == 0:
+                return cls(name, column.dtype, 0)
+            numeric = data.astype(np.float64, copy=False)
+            distinct = int(len(np.unique(data))) if n <= 2_000_000 else None
+            return cls(
+                name,
+                column.dtype,
+                n,
+                min_value=float(numeric.min()),
+                max_value=float(numeric.max()),
+                distinct_count=distinct,
+            )
+        # String column: record distinct values when the domain is small.
+        uniques = np.unique(data) if n else np.asarray([], dtype=np.str_)
+        categories = None
+        if len(uniques) <= cls.MAX_TRACKED_CATEGORIES:
+            categories = tuple(str(u) for u in uniques)
+        return cls(
+            name,
+            column.dtype,
+            n,
+            distinct_count=int(len(uniques)),
+            categories=categories,
+        )
+
+    def interval(self) -> Optional[Tuple[float, float]]:
+        """The [min, max] interval for numeric columns, else None."""
+        if self.min_value is None or self.max_value is None:
+            return None
+        return (self.min_value, self.max_value)
+
+
+@dataclass
+class TableStats:
+    """Statistics for a whole table (one entry per column)."""
+
+    row_count: int = 0
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+
+    @classmethod
+    def collect(cls, table: Table) -> "TableStats":
+        stats = cls(row_count=table.num_rows)
+        for name, column in table.columns.items():
+            stats.columns[name] = ColumnStats.collect(name, column)
+        return stats
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name)
+
+    def interval(self, name: str) -> Optional[Tuple[float, float]]:
+        stats = self.columns.get(name)
+        return stats.interval() if stats else None
+
+    def merge(self, other: "TableStats") -> "TableStats":
+        """Combine statistics from two fragments of the same table."""
+        merged = TableStats(row_count=self.row_count + other.row_count)
+        for name in set(self.columns) | set(other.columns):
+            left, right = self.columns.get(name), other.columns.get(name)
+            if left is None or right is None:
+                merged.columns[name] = left or right  # type: ignore[assignment]
+                continue
+            merged.columns[name] = _merge_column_stats(left, right)
+        return merged
+
+
+def _merge_column_stats(left: ColumnStats, right: ColumnStats) -> ColumnStats:
+    def _combine(a, b, fn):
+        if a is None or b is None:
+            return None
+        return fn(a, b)
+
+    categories = None
+    if left.categories is not None and right.categories is not None:
+        union = tuple(sorted(set(left.categories) | set(right.categories)))
+        if len(union) <= ColumnStats.MAX_TRACKED_CATEGORIES:
+            categories = union
+    return ColumnStats(
+        name=left.name,
+        dtype=left.dtype,
+        row_count=left.row_count + right.row_count,
+        min_value=_combine(left.min_value, right.min_value, min),
+        max_value=_combine(left.max_value, right.max_value, max),
+        distinct_count=None,  # not mergeable without sketches
+        categories=categories,
+    )

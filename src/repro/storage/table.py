@@ -1,0 +1,223 @@
+"""In-memory columnar tables.
+
+A :class:`Table` is an ordered mapping from column name to :class:`Column`,
+with all columns sharing the same length. Tables are the unit of data the
+relational executor produces and consumes. A :class:`Schema` describes the
+(name, type) pairs without the data and is what the planner binds against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.storage.column import Column, DataType
+
+
+class Schema:
+    """Ordered (column name, logical type) pairs."""
+
+    __slots__ = ("_fields",)
+
+    def __init__(self, fields: Sequence[Tuple[str, DataType]]):
+        names = [name for name, _ in fields]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names: {dupes}")
+        self._fields: Tuple[Tuple[str, DataType], ...] = tuple(fields)
+
+    @property
+    def names(self) -> List[str]:
+        return [name for name, _ in self._fields]
+
+    @property
+    def types(self) -> List[DataType]:
+        return [dtype for _, dtype in self._fields]
+
+    def dtype_of(self, name: str) -> DataType:
+        for field_name, dtype in self._fields:
+            if field_name == name:
+                return dtype
+        raise SchemaError(f"unknown column: {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(field_name == name for field_name, _ in self._fields)
+
+    def __iter__(self) -> Iterator[Tuple[str, DataType]]:
+        return iter(self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}: {t.value}" for n, t in self._fields)
+        return f"Schema({inner})"
+
+    def select(self, names: Sequence[str]) -> "Schema":
+        return Schema([(n, self.dtype_of(n)) for n in names])
+
+    def rename(self, mapping: Mapping[str, str]) -> "Schema":
+        return Schema([(mapping.get(n, n), t) for n, t in self._fields])
+
+
+class Table:
+    """A named collection of equal-length columns."""
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns: Mapping[str, Column] | Sequence[Tuple[str, Column]]):
+        if isinstance(columns, Mapping):
+            items = list(columns.items())
+        else:
+            items = list(columns)
+        self.columns: Dict[str, Column] = {}
+        length = None
+        for name, column in items:
+            if not isinstance(column, Column):
+                column = Column(column)
+            if length is None:
+                length = len(column)
+            elif len(column) != length:
+                raise SchemaError(
+                    f"column {name!r} has {len(column)} rows, expected {length}"
+                )
+            if name in self.columns:
+                raise SchemaError(f"duplicate column name: {name!r}")
+            self.columns[name] = column
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(cls, **arrays: Iterable) -> "Table":
+        """Build a table from keyword numpy arrays / sequences."""
+        return cls([(name, Column(np.asarray(values))) for name, values in arrays.items()])
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        cols = []
+        for name, dtype in schema:
+            cols.append((name, Column(np.asarray([], dtype=np.float64), dtype)
+                         if dtype is not DataType.STRING
+                         else Column(np.asarray([], dtype=np.str_), DataType.STRING)))
+        return cls(cols)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    @property
+    def schema(self) -> Schema:
+        return Schema([(name, col.dtype) for name, col in self.columns.items()])
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self.columns.keys())
+
+    def column(self, name: str) -> Column:
+        if name not in self.columns:
+            raise SchemaError(
+                f"unknown column {name!r}; available: {self.column_names}"
+            )
+        return self.columns[name]
+
+    def array(self, name: str) -> np.ndarray:
+        return self.column(name).data
+
+    def nbytes(self) -> int:
+        return sum(col.nbytes() for col in self.columns.values())
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:
+        return f"Table({self.num_rows} rows x {self.num_columns} cols: {self.column_names})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self.column_names != other.column_names:
+            return False
+        return all(self.columns[n] == other.columns[n] for n in self.columns)
+
+    # ------------------------------------------------------------------
+    # Row-level access (tests / display only; execution is columnar)
+    # ------------------------------------------------------------------
+    def row(self, index: int) -> Dict[str, object]:
+        return {name: col.data[index].item() if col.data.dtype.kind != "U"
+                else str(col.data[index])
+                for name, col in self.columns.items()}
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        return [self.row(i) for i in range(self.num_rows)]
+
+    def head(self, n: int = 5) -> "Table":
+        return self.slice(0, min(n, self.num_rows))
+
+    # ------------------------------------------------------------------
+    # Columnar operations
+    # ------------------------------------------------------------------
+    def select(self, names: Sequence[str]) -> "Table":
+        return Table([(name, self.column(name)) for name in names])
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        return Table([(mapping.get(n, n), c) for n, c in self.columns.items()])
+
+    def with_column(self, name: str, column: Column) -> "Table":
+        if self.columns and len(column) != self.num_rows:
+            raise SchemaError(
+                f"new column {name!r} has {len(column)} rows, expected {self.num_rows}"
+            )
+        items = [(n, c) for n, c in self.columns.items() if n != name]
+        items.append((name, column))
+        return Table(items)
+
+    def drop(self, names: Sequence[str]) -> "Table":
+        doomed = set(names)
+        return Table([(n, c) for n, c in self.columns.items() if n not in doomed])
+
+    def take(self, indices: np.ndarray) -> "Table":
+        return Table([(n, c.take(indices)) for n, c in self.columns.items()])
+
+    def mask(self, predicate: np.ndarray) -> "Table":
+        return Table([(n, c.mask(predicate)) for n, c in self.columns.items()])
+
+    def slice(self, start: int, stop: int) -> "Table":
+        return Table([(n, c.slice(start, stop)) for n, c in self.columns.items()])
+
+    def prefix(self, prefix: str) -> "Table":
+        """Qualify all column names, e.g. ``pi.id`` for joins."""
+        return Table([(f"{prefix}.{n}", c) for n, c in self.columns.items()])
+
+
+def concat_tables(tables: Sequence[Table]) -> Table:
+    """Vertically concatenate tables with identical schemas."""
+    if not tables:
+        raise SchemaError("cannot concatenate an empty list of tables")
+    first = tables[0]
+    for table in tables[1:]:
+        if table.column_names != first.column_names:
+            raise SchemaError("concat_tables requires identical column names")
+    if len(tables) == 1:
+        return first
+    out = []
+    for name in first.column_names:
+        pieces = [t.column(name).data for t in tables]
+        out.append((name, Column(np.concatenate(pieces), first.column(name).dtype)))
+    return Table(out)

@@ -1,0 +1,336 @@
+"""Tensor programs: the MLtoDNN compilation target.
+
+A :class:`TensorProgram` is a straight-line sequence of tensor operators
+over named buffers — the moral equivalent of the PyTorch module Hummingbird
+emits (paper §5.1, MLtoDNN). Every operator implements
+
+* ``execute(buffers)`` — numpy execution, and
+* ``cost(batch_size)`` — a :class:`OpCost` estimate (FLOPs and bytes moved)
+  that the simulated GPU device (``repro.tensor.device``) prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.learn.base import sigmoid, softmax
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Work estimate for one operator application."""
+
+    flops: float = 0.0
+    bytes_moved: float = 0.0
+
+    def __add__(self, other: "OpCost") -> "OpCost":
+        return OpCost(self.flops + other.flops,
+                      self.bytes_moved + other.bytes_moved)
+
+
+class TensorOp:
+    """Base class for tensor operators."""
+
+    def __init__(self, inputs: Sequence[str], output: str):
+        self.inputs = list(inputs)
+        self.output = output
+
+    def execute(self, buffers: Dict[str, np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    def cost(self, batch_size: int) -> OpCost:
+        raise NotImplementedError
+
+    def __repr__(self):
+        return (f"{type(self).__name__}({', '.join(self.inputs)} -> "
+                f"{self.output})")
+
+
+class GatherColumns(TensorOp):
+    """``out = x[:, indices]``."""
+
+    def __init__(self, inputs, output, indices: np.ndarray):
+        super().__init__(inputs, output)
+        self.indices = np.asarray(indices, dtype=np.int64)
+
+    def execute(self, buffers):
+        return buffers[self.inputs[0]][:, self.indices]
+
+    def cost(self, batch_size):
+        width = len(self.indices)
+        return OpCost(flops=0.0, bytes_moved=16.0 * batch_size * width)
+
+
+class Affine(TensorOp):
+    """``out = (x - offset) * scale`` (compiled Scaler)."""
+
+    def __init__(self, inputs, output, offset: np.ndarray, scale: np.ndarray):
+        super().__init__(inputs, output)
+        self.offset = np.asarray(offset, dtype=np.float64)
+        self.scale = np.asarray(scale, dtype=np.float64)
+
+    def execute(self, buffers):
+        return (buffers[self.inputs[0]] - self.offset) * self.scale
+
+    def cost(self, batch_size):
+        width = max(self.offset.size, 1)
+        return OpCost(flops=2.0 * batch_size * width,
+                      bytes_moved=24.0 * batch_size * width)
+
+
+class RowNormalize(TensorOp):
+    """Row-wise L1/L2/max normalization."""
+
+    def __init__(self, inputs, output, norm: str, width: int):
+        super().__init__(inputs, output)
+        self.norm = norm
+        self.width = width
+
+    def execute(self, buffers):
+        x = buffers[self.inputs[0]]
+        if self.norm == "l1":
+            norms = np.abs(x).sum(axis=1)
+        elif self.norm == "l2":
+            norms = np.sqrt((x ** 2).sum(axis=1))
+        else:
+            norms = np.abs(x).max(axis=1)
+        norms = np.where(norms == 0, 1.0, norms)
+        return x / norms[:, None]
+
+    def cost(self, batch_size):
+        return OpCost(flops=3.0 * batch_size * self.width,
+                      bytes_moved=24.0 * batch_size * self.width)
+
+
+class Threshold(TensorOp):
+    """``out = (x > threshold)`` as floats (compiled Binarizer)."""
+
+    def __init__(self, inputs, output, threshold: float, width: int):
+        super().__init__(inputs, output)
+        self.threshold = threshold
+        self.width = width
+
+    def execute(self, buffers):
+        return (buffers[self.inputs[0]] > self.threshold).astype(np.float64)
+
+    def cost(self, batch_size):
+        return OpCost(flops=1.0 * batch_size * self.width,
+                      bytes_moved=16.0 * batch_size * self.width)
+
+
+class NanToValue(TensorOp):
+    """Replace NaN entries by per-column values (compiled Imputer)."""
+
+    def __init__(self, inputs, output, values: np.ndarray, width: int):
+        super().__init__(inputs, output)
+        self.values = np.broadcast_to(
+            np.asarray(values, dtype=np.float64), (width,)).copy()
+        self.width = width
+
+    def execute(self, buffers):
+        x = buffers[self.inputs[0]].copy()
+        mask = np.isnan(x)
+        if mask.any():
+            x[mask] = np.broadcast_to(self.values, x.shape)[mask]
+        return x
+
+    def cost(self, batch_size):
+        return OpCost(flops=1.0 * batch_size * self.width,
+                      bytes_moved=16.0 * batch_size * self.width)
+
+
+class StringToCode(TensorOp):
+    """Vocabulary lookup: strings -> int codes, unknown -> -1.
+
+    Hummingbird keeps dictionary ops outside the accelerated region; the
+    device model treats this op as host-resident (no GPU transfer benefit).
+    """
+
+    host_only = True
+
+    def __init__(self, inputs, output, vocabulary: np.ndarray):
+        super().__init__(inputs, output)
+        self.vocabulary = np.asarray(vocabulary, dtype=np.str_)
+
+    def execute(self, buffers):
+        column = buffers[self.inputs[0]]
+        if column.ndim == 2:
+            column = column[:, 0]
+        column = column.astype(np.str_)
+        positions = np.searchsorted(self.vocabulary, column)
+        positions = np.clip(positions, 0, len(self.vocabulary) - 1)
+        codes = np.where(self.vocabulary[positions] == column, positions, -1)
+        return codes.reshape(-1, 1).astype(np.int64)
+
+    def cost(self, batch_size):
+        return OpCost(flops=batch_size * np.log2(max(len(self.vocabulary), 2)),
+                      bytes_moved=24.0 * batch_size)
+
+
+class OneHotFromCode(TensorOp):
+    """Codes ``[N,1]`` -> one-hot ``[N,V]`` (-1 encodes to all-zeros)."""
+
+    def __init__(self, inputs, output, size: int):
+        super().__init__(inputs, output)
+        self.size = size
+
+    def execute(self, buffers):
+        codes = buffers[self.inputs[0]][:, 0]
+        return (codes[:, None] == np.arange(self.size)[None, :]).astype(np.float64)
+
+    def cost(self, batch_size):
+        return OpCost(flops=1.0 * batch_size * self.size,
+                      bytes_moved=8.0 * batch_size * self.size)
+
+
+class ConcatColumns(TensorOp):
+    """Horizontal concatenation of feature blocks."""
+
+    def __init__(self, inputs, output, widths: Sequence[int]):
+        super().__init__(inputs, output)
+        self.widths = list(widths)
+
+    def execute(self, buffers):
+        blocks = []
+        for name in self.inputs:
+            block = buffers[name]
+            if block.ndim == 1:
+                block = block.reshape(-1, 1)
+            blocks.append(block.astype(np.float64, copy=False))
+        return np.concatenate(blocks, axis=1)
+
+    def cost(self, batch_size):
+        return OpCost(flops=0.0,
+                      bytes_moved=16.0 * batch_size * sum(self.widths))
+
+
+class ConstTile(TensorOp):
+    """Materialize a broadcast constant row (compiled Constant node)."""
+
+    def __init__(self, output, value: np.ndarray):
+        super().__init__([], output)
+        self.value = np.atleast_1d(np.asarray(value, dtype=np.float64))
+
+    def execute(self, buffers):
+        n = buffers["__batch_size__"]
+        return np.tile(self.value.reshape(1, -1), (int(n), 1))
+
+    def cost(self, batch_size):
+        return OpCost(flops=0.0, bytes_moved=8.0 * batch_size * self.value.size)
+
+
+class Gemm(TensorOp):
+    """``out = x @ weight + bias`` (compiled linear model)."""
+
+    def __init__(self, inputs, output, weight: np.ndarray, bias: np.ndarray):
+        super().__init__(inputs, output)
+        self.weight = np.asarray(weight, dtype=np.float64)
+        self.bias = np.asarray(bias, dtype=np.float64)
+
+    def execute(self, buffers):
+        return buffers[self.inputs[0]] @ self.weight + self.bias
+
+    def cost(self, batch_size):
+        in_dim, out_dim = self.weight.shape
+        return OpCost(flops=2.0 * batch_size * in_dim * out_dim,
+                      bytes_moved=8.0 * batch_size * (in_dim + out_dim))
+
+
+class Sigmoid(TensorOp):
+    def __init__(self, inputs, output, width: int = 1):
+        super().__init__(inputs, output)
+        self.width = width
+
+    def execute(self, buffers):
+        return sigmoid(buffers[self.inputs[0]])
+
+    def cost(self, batch_size):
+        return OpCost(flops=4.0 * batch_size * self.width,
+                      bytes_moved=16.0 * batch_size * self.width)
+
+
+class Softmax(TensorOp):
+    def __init__(self, inputs, output, width: int):
+        super().__init__(inputs, output)
+        self.width = width
+
+    def execute(self, buffers):
+        return softmax(buffers[self.inputs[0]])
+
+    def cost(self, batch_size):
+        return OpCost(flops=5.0 * batch_size * self.width,
+                      bytes_moved=16.0 * batch_size * self.width)
+
+
+class StackBinaryProbs(TensorOp):
+    """positive-prob column -> ``[1-p, p]`` matrix."""
+
+    def execute(self, buffers):
+        positive = buffers[self.inputs[0]]
+        if positive.ndim == 2:
+            positive = positive[:, 0]
+        return np.column_stack([1.0 - positive, positive])
+
+    def cost(self, batch_size):
+        return OpCost(flops=batch_size, bytes_moved=24.0 * batch_size)
+
+
+class ArgmaxLabel(TensorOp):
+    """Probabilities -> class labels via argmax (host-resident decode)."""
+
+    host_only = True
+
+    def __init__(self, inputs, output, classes: np.ndarray):
+        super().__init__(inputs, output)
+        self.classes = np.asarray(classes)
+
+    def execute(self, buffers):
+        probabilities = buffers[self.inputs[0]]
+        return self.classes[np.argmax(probabilities, axis=1)]
+
+    def cost(self, batch_size):
+        return OpCost(flops=batch_size * max(len(self.classes), 1),
+                      bytes_moved=16.0 * batch_size)
+
+
+@dataclass
+class TensorProgram:
+    """Compiled pipeline: inputs, operator sequence, named outputs."""
+
+    name: str
+    input_names: List[str]
+    ops: List[TensorOp] = field(default_factory=list)
+    outputs: Dict[str, str] = field(default_factory=dict)  # output -> buffer
+
+    def add(self, op: TensorOp) -> str:
+        self.ops.append(op)
+        return op.output
+
+    def total_cost(self, batch_size: int) -> OpCost:
+        total = OpCost()
+        for op in self.ops:
+            total = total + op.cost(batch_size)
+        return total
+
+    def validate(self) -> None:
+        available = set(self.input_names) | {"__batch_size__"}
+        for op in self.ops:
+            for name in op.inputs:
+                if name not in available:
+                    raise ExecutionError(
+                        f"tensor op {op!r} reads undefined buffer {name!r}"
+                    )
+            available.add(op.output)
+        for output, buffer in self.outputs.items():
+            if buffer not in available:
+                raise ExecutionError(
+                    f"program output {output!r} maps to undefined buffer {buffer!r}"
+                )
+
+    def __repr__(self):
+        return (f"TensorProgram({self.name!r}, {len(self.ops)} ops, "
+                f"outputs={list(self.outputs)})")

@@ -1,0 +1,48 @@
+"""Tensor runtime: execute compiled programs on a device.
+
+The thin façade the Raven executor calls for Predict nodes annotated
+``DNN_CPU`` / ``DNN_GPU``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.onnxlite.graph import Graph
+from repro.tensor.compile import compile_graph
+from repro.tensor.device import (
+    CpuDevice,
+    K80,
+    RunResult,
+    SimulatedGpuDevice,
+)
+from repro.tensor.program import TensorProgram
+
+
+class TensorRuntime:
+    """Compiles-and-caches programs, executes them on a chosen device."""
+
+    def __init__(self, device=None):
+        self.device = device or CpuDevice()
+        self._cache: Dict[int, TensorProgram] = {}
+
+    def compile(self, graph: Graph, tree_strategy: Optional[str] = None) -> TensorProgram:
+        key = id(graph)
+        if key not in self._cache:
+            self._cache[key] = compile_graph(graph, tree_strategy)
+        return self._cache[key]
+
+    def run(self, graph: Graph, inputs: Dict[str, np.ndarray],
+            tree_strategy: Optional[str] = None) -> RunResult:
+        program = self.compile(graph, tree_strategy)
+        return self.device.run(program, inputs)
+
+
+def cpu_runtime() -> TensorRuntime:
+    return TensorRuntime(CpuDevice())
+
+
+def gpu_runtime(spec=K80) -> TensorRuntime:
+    return TensorRuntime(SimulatedGpuDevice(spec))

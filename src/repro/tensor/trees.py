@@ -1,0 +1,227 @@
+"""Tensorized tree-ensemble evaluation: the two Hummingbird strategies.
+
+* :class:`TreeGemm` — the GEMM strategy: each tree becomes three dense
+  matrix pipelines (feature-selection, path, leaf-value) evaluated with
+  matrix algebra. Exact for any tree; costs grow with node x leaf counts,
+  so it shines on small trees.
+* :class:`TreeTraversal` — the (perfect) tree-traversal strategy: flattened
+  node arrays walked level-by-level with vectorized gathers; cost is
+  ``O(N * trees * depth)`` and is the right choice for large ensembles.
+
+Both produce aggregated ensemble scores identical (up to fp rounding) to
+``repro.onnxlite``'s TreeEnsemble kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.learn.base import sigmoid, softmax
+from repro.learn.tree import TreeNode
+from repro.tensor.program import OpCost, TensorOp
+
+
+def _apply_post(total: np.ndarray, post: str) -> np.ndarray:
+    if post == "NONE":
+        return total
+    if post == "LOGISTIC":
+        positive = sigmoid(total[:, 0])
+        return np.column_stack([1.0 - positive, positive])
+    if post == "SOFTMAX":
+        return softmax(total)
+    raise ValueError(f"bad post_transform: {post!r}")
+
+
+# ---------------------------------------------------------------------------
+# GEMM strategy
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _GemmTree:
+    """Per-tree matrices of the GEMM formulation.
+
+    ``feature_ids``/``thresholds`` index the internal nodes; ``paths`` is the
+    {+1,-1,0} internal-node x leaf matrix; ``left_counts`` the per-leaf
+    count of left-edges; ``leaf_values`` the leaf payload matrix.
+    """
+
+    feature_ids: np.ndarray     # [I] int
+    thresholds: np.ndarray      # [I]
+    paths: np.ndarray           # [I, L]
+    left_counts: np.ndarray     # [L]
+    leaf_values: np.ndarray     # [L, d]
+
+
+def _build_gemm_tree(tree: TreeNode, value_dim: int) -> _GemmTree:
+    internal: List[TreeNode] = [n for n in tree.iter_nodes() if not n.is_leaf]
+    leaves: List[TreeNode] = list(tree.iter_leaves())
+    index_of = {id(node): i for i, node in enumerate(internal)}
+    leaf_of = {id(leaf): i for i, leaf in enumerate(leaves)}
+
+    n_internal, n_leaves = len(internal), len(leaves)
+    paths = np.zeros((max(n_internal, 1), n_leaves))
+    left_counts = np.zeros(n_leaves)
+
+    def mark(node: TreeNode, ancestors: List[Tuple[int, int]]):
+        if node.is_leaf:
+            leaf = leaf_of[id(node)]
+            for internal_index, sign in ancestors:
+                paths[internal_index, leaf] = sign
+            left_counts[leaf] = sum(1 for _, sign in ancestors if sign > 0)
+            return
+        me = index_of[id(node)]
+        mark(node.left, ancestors + [(me, +1)])
+        mark(node.right, ancestors + [(me, -1)])
+
+    mark(tree, [])
+    leaf_values = np.stack([leaf.value for leaf in leaves]).reshape(n_leaves, value_dim)
+    if n_internal == 0:
+        return _GemmTree(np.zeros(0, dtype=np.int64), np.zeros(0),
+                         np.zeros((0, n_leaves)), left_counts, leaf_values)
+    return _GemmTree(
+        feature_ids=np.asarray([n.feature for n in internal], dtype=np.int64),
+        thresholds=np.asarray([n.threshold for n in internal]),
+        paths=paths,
+        left_counts=left_counts,
+        leaf_values=leaf_values,
+    )
+
+
+class TreeGemm(TensorOp):
+    """GEMM-strategy ensemble scoring (aggregate + post transform fused)."""
+
+    def __init__(self, inputs, output, trees: Sequence[TreeNode],
+                 aggregate: str, post_transform: str,
+                 base_values: np.ndarray, value_dim: int):
+        super().__init__(inputs, output)
+        self.aggregate = aggregate
+        self.post_transform = post_transform
+        self.base_values = np.asarray(base_values, dtype=np.float64)
+        self.value_dim = value_dim
+        self.trees = [_build_gemm_tree(tree, value_dim) for tree in trees]
+
+    def execute(self, buffers):
+        x = buffers[self.inputs[0]]
+        total = np.zeros((len(x), self.value_dim))
+        for tree in self.trees:
+            if len(tree.feature_ids) == 0:
+                total += tree.leaf_values[0]
+                continue
+            # Stage 1: split decisions. x @ A is a one-hot gather, computed
+            # as a column gather with identical semantics and cost model.
+            decisions = (x[:, tree.feature_ids] <= tree.thresholds).astype(np.float64)
+            # Stage 2: path aggregation, Stage 3: leaf match + values.
+            reached = decisions @ tree.paths
+            leaf_onehot = (reached == tree.left_counts).astype(np.float64)
+            total += leaf_onehot @ tree.leaf_values
+        if self.aggregate == "AVERAGE":
+            total /= len(self.trees)
+        total = total + self.base_values
+        return _apply_post(total, self.post_transform)
+
+    def cost(self, batch_size):
+        flops = 0.0
+        bytes_moved = 0.0
+        for tree in self.trees:
+            internal = max(len(tree.feature_ids), 1)
+            leaves = tree.paths.shape[1]
+            flops += batch_size * (internal            # comparisons
+                                   + 2.0 * internal * leaves  # path GEMM
+                                   + leaves             # leaf match
+                                   + 2.0 * leaves * self.value_dim)
+            bytes_moved += 8.0 * batch_size * (internal + leaves)
+        return OpCost(flops=flops, bytes_moved=bytes_moved)
+
+
+# ---------------------------------------------------------------------------
+# Tree-traversal strategy
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _FlatEnsemble:
+    """Node-array layout shared by every tree (padded to max node count)."""
+
+    features: np.ndarray     # [T, M] int (leaves: 0)
+    thresholds: np.ndarray   # [T, M]
+    lefts: np.ndarray        # [T, M] int (leaves: self)
+    rights: np.ndarray       # [T, M] int (leaves: self)
+    values: np.ndarray       # [T, M, d]
+    depth: int
+
+
+def _flatten_ensemble(trees: Sequence[TreeNode], value_dim: int) -> _FlatEnsemble:
+    flat_trees = []
+    max_nodes = 0
+    max_depth = 0
+    for tree in trees:
+        nodes = list(tree.iter_nodes())
+        max_nodes = max(max_nodes, len(nodes))
+        max_depth = max(max_depth, tree.depth())
+        flat_trees.append(nodes)
+
+    n_trees = len(trees)
+    features = np.zeros((n_trees, max_nodes), dtype=np.int64)
+    thresholds = np.zeros((n_trees, max_nodes))
+    lefts = np.zeros((n_trees, max_nodes), dtype=np.int64)
+    rights = np.zeros((n_trees, max_nodes), dtype=np.int64)
+    values = np.zeros((n_trees, max_nodes, value_dim))
+
+    for t, nodes in enumerate(flat_trees):
+        index_of = {id(node): i for i, node in enumerate(nodes)}
+        for i, node in enumerate(nodes):
+            if node.is_leaf:
+                lefts[t, i] = rights[t, i] = i  # self-loop at leaves
+                values[t, i] = node.value
+            else:
+                features[t, i] = node.feature
+                thresholds[t, i] = node.threshold
+                lefts[t, i] = index_of[id(node.left)]
+                rights[t, i] = index_of[id(node.right)]
+    return _FlatEnsemble(features, thresholds, lefts, rights, values,
+                         depth=max(max_depth, 1))
+
+
+class TreeTraversal(TensorOp):
+    """Traversal-strategy ensemble scoring with tree-group batching."""
+
+    def __init__(self, inputs, output, trees: Sequence[TreeNode],
+                 aggregate: str, post_transform: str,
+                 base_values: np.ndarray, value_dim: int,
+                 group_size: int = 16):
+        super().__init__(inputs, output)
+        self.aggregate = aggregate
+        self.post_transform = post_transform
+        self.base_values = np.asarray(base_values, dtype=np.float64)
+        self.value_dim = value_dim
+        self.group_size = max(1, group_size)
+        self.flat = _flatten_ensemble(trees, value_dim)
+        self.n_trees = len(trees)
+
+    def execute(self, buffers):
+        x = buffers[self.inputs[0]]
+        n = len(x)
+        flat = self.flat
+        total = np.zeros((n, self.value_dim))
+        rows = np.arange(n)[:, None]
+        for start in range(0, self.n_trees, self.group_size):
+            stop = min(start + self.group_size, self.n_trees)
+            group = np.arange(start, stop)[None, :]        # [1, G]
+            node = np.zeros((n, stop - start), dtype=np.int64)
+            for _ in range(flat.depth):
+                feature = flat.features[group, node]       # [N, G]
+                threshold = flat.thresholds[group, node]
+                goes_left = x[rows, feature] <= threshold
+                node = np.where(goes_left, flat.lefts[group, node],
+                                flat.rights[group, node])
+            total += flat.values[group, node].sum(axis=1)
+        if self.aggregate == "AVERAGE":
+            total /= self.n_trees
+        total = total + self.base_values
+        return _apply_post(total, self.post_transform)
+
+    def cost(self, batch_size):
+        work = batch_size * self.n_trees * self.flat.depth
+        return OpCost(flops=3.0 * work, bytes_moved=40.0 * work)

@@ -1,0 +1,130 @@
+"""Shared fixtures: small deterministic tables, pipelines, and sessions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import RavenSession, Table
+from repro.learn import (
+    DecisionTreeClassifier,
+    GradientBoostingClassifier,
+    LogisticRegression,
+    RandomForestClassifier,
+    make_standard_pipeline,
+)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20240611)
+
+
+@pytest.fixture(scope="session")
+def patients_table(rng) -> Table:
+    n = 4_000
+    return Table.from_arrays(
+        id=np.arange(n),
+        age=rng.normal(55, 15, n).round(),
+        asthma=rng.integers(0, 2, n),
+        bmi=rng.normal(26, 4, n),
+        smoker=rng.choice(["yes", "no"], n),
+        hypertension=rng.choice(["none", "mild", "severe"], n),
+    )
+
+
+@pytest.fixture(scope="session")
+def pulmonary_table(rng, patients_table) -> Table:
+    n = patients_table.num_rows
+    return Table.from_arrays(
+        id=np.arange(n),
+        bpm=rng.normal(70, 12, n),
+        fev=rng.normal(3.0, 0.6, n),
+    )
+
+
+@pytest.fixture(scope="session")
+def joined_frame(patients_table, pulmonary_table) -> Table:
+    columns = dict(patients_table.columns)
+    for name in ("bpm", "fev"):
+        columns[name] = pulmonary_table.columns[name]
+    return Table(columns)
+
+
+@pytest.fixture(scope="session")
+def risk_labels(rng, patients_table, pulmonary_table) -> np.ndarray:
+    return ((patients_table.array("age") > 60)
+            | ((patients_table.array("asthma") == 1)
+               & (pulmonary_table.array("bpm") > 75))
+            | (patients_table.array("smoker") == "yes")).astype(int)
+
+
+NUMERIC_INPUTS = ["age", "bmi", "bpm", "fev", "asthma"]
+CATEGORICAL_INPUTS = ["smoker", "hypertension"]
+
+
+def _train(model, frame, labels):
+    pipeline = make_standard_pipeline(model, NUMERIC_INPUTS, CATEGORICAL_INPUTS)
+    pipeline.fit(frame, labels)
+    return pipeline
+
+
+@pytest.fixture(scope="session")
+def dt_pipeline(joined_frame, risk_labels):
+    return _train(DecisionTreeClassifier(max_depth=7, random_state=0),
+                  joined_frame, risk_labels)
+
+
+@pytest.fixture(scope="session")
+def lr_pipeline(joined_frame, risk_labels):
+    return _train(LogisticRegression(penalty="l1", C=0.05, max_iter=600),
+                  joined_frame, risk_labels)
+
+
+@pytest.fixture(scope="session")
+def gb_pipeline(joined_frame, risk_labels):
+    return _train(GradientBoostingClassifier(n_estimators=12, max_depth=3,
+                                             random_state=0),
+                  joined_frame, risk_labels)
+
+
+@pytest.fixture(scope="session")
+def rf_pipeline(joined_frame, risk_labels):
+    return _train(RandomForestClassifier(n_estimators=8, max_depth=5,
+                                         random_state=0),
+                  joined_frame, risk_labels)
+
+
+@pytest.fixture()
+def session(patients_table, pulmonary_table, dt_pipeline) -> RavenSession:
+    """A fresh optimizing session with the running-example schema."""
+    sess = RavenSession()
+    sess.register_table("patient_info", patients_table, primary_key=["id"])
+    sess.register_table("pulmonary_test", pulmonary_table, primary_key=["id"])
+    sess.register_model("covid_risk", dt_pipeline)
+    return sess
+
+
+@pytest.fixture()
+def noopt_session(patients_table, pulmonary_table, dt_pipeline) -> RavenSession:
+    sess = RavenSession(enable_optimizations=False)
+    sess.register_table("patient_info", patients_table, primary_key=["id"])
+    sess.register_table("pulmonary_test", pulmonary_table, primary_key=["id"])
+    sess.register_model("covid_risk", dt_pipeline)
+    return sess
+
+
+COVID_QUERY = """
+WITH data AS (
+  SELECT * FROM patient_info AS pi
+  JOIN pulmonary_test AS pt ON pi.id = pt.id
+)
+SELECT d.id, p.score
+FROM PREDICT(MODEL = covid_risk, DATA = data AS d) WITH (score FLOAT) AS p
+WHERE d.asthma = 1 AND p.score > 0.5
+"""
+
+
+@pytest.fixture(scope="session")
+def covid_query() -> str:
+    return COVID_QUERY

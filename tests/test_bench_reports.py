@@ -1,0 +1,74 @@
+"""Fast tests for the report generators (tiny parameters).
+
+Full-scale report generation is exercised by ``benchmarks/``; these tests
+cover the reporting machinery itself: row structure, note emission, and the
+corpus measurement protocol.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import reports
+from repro.core.strategies import CHOICES
+from repro.datasets import generate_corpus
+
+
+class TestCorpusMeasurement:
+    @pytest.fixture(scope="class")
+    def tiny_corpus(self):
+        return generate_corpus(n_pipelines=4, seed=3, train_rows=300,
+                               eval_rows=500)
+
+    def test_measure_returns_aligned_matrices(self, tiny_corpus):
+        features, runtimes = reports.measure_corpus_runtimes(tiny_corpus,
+                                                             repeats=1)
+        assert features.shape == (4, 22)
+        assert runtimes.shape == (4, len(CHOICES))
+        # 'none' is always measurable.
+        assert np.all(np.isfinite(runtimes[:, CHOICES.index("none")]))
+        assert np.all(runtimes[np.isfinite(runtimes)] > 0)
+
+    def test_cpu_vs_gpu_dnn_measurement(self, tiny_corpus):
+        _, gpu_runtimes = reports.measure_corpus_runtimes(tiny_corpus,
+                                                          repeats=1, gpu=True)
+        _, cpu_runtimes = reports.measure_corpus_runtimes(tiny_corpus,
+                                                          repeats=1, gpu=False)
+        dnn = CHOICES.index("dnn")
+        # The simulated GPU prices dnn far below CPU execution.
+        assert gpu_runtimes[:, dnn].sum() < cpu_runtimes[:, dnn].sum()
+
+    def test_label_mismatch_rate_numeric_aware(self):
+        rate = reports._label_mismatch_rate(
+            np.asarray([1.0, 0.0, 1.0]), np.asarray([1, 0, 0]))
+        assert rate == pytest.approx(1 / 3)
+        rate = reports._label_mismatch_rate(
+            np.asarray(["a", "b"]), np.asarray(["a", "a"]))
+        assert rate == 0.5
+
+
+class TestReportStructure:
+    def test_fig1_rows(self):
+        table = reports.fig1_report(n_pipelines=6)
+        assert len(table.rows) == 7  # the seven Fig. 1 metrics
+        assert table.notes
+
+    def test_table1_rows(self):
+        table = reports.table1_report(rows_for_stats=5_000)
+        assert {r["dataset"] for r in table.rows} == \
+            {"creditcard", "hospital", "expedia", "flights"}
+
+    def test_coverage_report(self):
+        table = reports.coverage_report(n_pipelines=5, seed=2)
+        rows = {r["capability"]: r for r in table.rows}
+        assert rows["unified IR"]["pct"] == 100.0
+
+    def test_accuracy_report_tiny(self):
+        table = reports.accuracy_report(n_pipelines=4, seed=5,
+                                        eval_rows=400)
+        assert len(table.rows) == 2
+        for row in table.rows:
+            assert row["max_mismatch_pct"] <= 0.8
+
+    def test_full_scale_width_lookup(self):
+        assert reports._full_scale_width("expedia") == 3965
+        assert reports._full_scale_width("flights") == 6475

@@ -1,0 +1,87 @@
+"""Determinism tests: fixed seeds give bit-identical artifacts.
+
+Reproducibility of the benchmark numbers depends on every random source
+being seeded; these tests pin that contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro import RavenSession, Table
+from repro.datasets import DATASET_GENERATORS, generate_corpus
+from repro.learn import (
+    DecisionTreeClassifier,
+    GradientBoostingClassifier,
+    LogisticRegression,
+    RandomForestClassifier,
+    make_standard_pipeline,
+)
+from repro.onnxlite import convert_pipeline, graph_to_dict
+
+
+@pytest.mark.parametrize("name", sorted(DATASET_GENERATORS))
+def test_dataset_generators_deterministic(name):
+    kwargs = {"cardinality_scale": 0.05} if name in ("expedia", "flights") \
+        else {}
+    a = DATASET_GENERATORS[name](3_000, seed=9, **kwargs)
+    b = DATASET_GENERATORS[name](3_000, seed=9, **kwargs)
+    assert np.array_equal(a.label, b.label)
+    for table_name in a.tables:
+        assert a.tables[table_name] == b.tables[table_name]
+
+
+def test_different_seeds_differ():
+    a = DATASET_GENERATORS["hospital"](2_000, seed=1)
+    b = DATASET_GENERATORS["hospital"](2_000, seed=2)
+    assert not np.array_equal(a.tables["hospital_stays"].array("bmi"),
+                              b.tables["hospital_stays"].array("bmi"))
+
+
+@pytest.mark.parametrize("factory", [
+    lambda: DecisionTreeClassifier(max_depth=5, random_state=7),
+    lambda: RandomForestClassifier(n_estimators=5, max_depth=4,
+                                   random_state=7),
+    lambda: GradientBoostingClassifier(n_estimators=6, max_depth=2,
+                                       random_state=7),
+    lambda: LogisticRegression(penalty="l1", C=0.1, max_iter=300),
+])
+def test_training_deterministic(factory, rng):
+    n = 800
+    table = Table.from_arrays(x=rng.normal(size=n), z=rng.normal(size=n),
+                              c=rng.choice(["a", "b"], n))
+    y = (table.array("x") > 0).astype(int)
+
+    def fit_and_serialize():
+        pipeline = make_standard_pipeline(factory(), ["x", "z"], ["c"])
+        pipeline.fit(table, y)
+        return graph_to_dict(convert_pipeline(pipeline))
+
+    assert fit_and_serialize() == fit_and_serialize()
+
+
+def test_corpus_graphs_bit_identical():
+    a = generate_corpus(n_pipelines=3, seed=4, train_rows=200, eval_rows=50)
+    b = generate_corpus(n_pipelines=3, seed=4, train_rows=200, eval_rows=50)
+    for x, y in zip(a, b):
+        assert graph_to_dict(x.graph) == graph_to_dict(y.graph)
+
+
+def test_optimizer_deterministic(rng):
+    n = 1_500
+    table = Table.from_arrays(id=np.arange(n), x=rng.normal(size=n),
+                              flag=rng.integers(0, 2, n))
+    y = (table.array("x") > 0).astype(int)
+    pipeline = make_standard_pipeline(
+        DecisionTreeClassifier(max_depth=5, random_state=0), ["x", "flag"], [])
+    pipeline.fit(table, y)
+
+    def run():
+        session = RavenSession(strategy="sql")
+        session.register_table("t", table)
+        session.register_model("m", pipeline)
+        plan, report = session.optimize(
+            "SELECT d.id, p.score FROM PREDICT(MODEL = m, DATA = t AS d) "
+            "WITH (score FLOAT) AS p WHERE d.flag = 1")
+        return plan.pretty(session.catalog), tuple(report.rules_applied)
+
+    assert run() == run()

@@ -1,0 +1,190 @@
+"""Edge-case and failure-injection tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import RavenSession, Table
+from repro.core.rules import pushdown_graph
+from repro.learn import (
+    DecisionTreeClassifier,
+    LogisticRegression,
+    make_standard_pipeline,
+)
+from repro.onnxlite import convert_pipeline, run_graph
+from repro.storage import Catalog
+
+
+@pytest.fixture()
+def simple_session(rng):
+    n = 2_000
+    table = Table.from_arrays(
+        id=np.arange(n), x=rng.normal(size=n), flag=rng.integers(0, 2, n),
+        c=rng.choice(["a", "b"], n))
+    y = (table.array("x") > 0).astype(int)
+    pipeline = make_standard_pipeline(
+        DecisionTreeClassifier(max_depth=4, random_state=0),
+        ["x", "flag"], ["c"])
+    pipeline.fit(table, y)
+    session = RavenSession()
+    session.register_table("t", table, primary_key=["id"])
+    session.register_model("m", pipeline)
+    return session, table, pipeline
+
+
+class TestEmptyResults:
+    def test_predicate_selecting_nothing(self, simple_session):
+        session, table, pipeline = simple_session
+        out = session.sql(
+            "SELECT d.id, p.score FROM PREDICT(MODEL = m, DATA = t AS d) "
+            "WITH (score FLOAT) AS p WHERE d.x > 1000000.0")
+        assert out.num_rows == 0
+        assert out.column_names == ["id", "score"]
+
+    def test_empty_result_through_mltosql(self, simple_session):
+        session, table, pipeline = simple_session
+        sql_session = RavenSession(strategy="sql")
+        sql_session.catalog = session.catalog
+        out = sql_session.sql(
+            "SELECT d.id, p.score FROM PREDICT(MODEL = m, DATA = t AS d) "
+            "WITH (score FLOAT) AS p WHERE d.x > 1000000.0")
+        assert out.num_rows == 0
+
+    def test_aggregate_over_empty(self, simple_session):
+        session, table, pipeline = simple_session
+        out = session.sql(
+            "SELECT COUNT(*) AS n FROM t AS d WHERE d.x > 1000000.0")
+        assert out.array("n")[0] == 0
+
+    def test_limit_zero(self, simple_session):
+        session, _, _ = simple_session
+        out = session.sql("SELECT id FROM t AS d LIMIT 0")
+        assert out.num_rows == 0
+
+
+class TestDegenerateModels:
+    def test_constant_tree_model(self, rng):
+        """A tree that never splits (pure labels) still executes."""
+        n = 500
+        table = Table.from_arrays(id=np.arange(n), x=rng.normal(size=n))
+        y = np.zeros(n, dtype=int)
+        y[0] = 1  # two classes but an unlearnable split with depth 0
+        model = DecisionTreeClassifier(max_depth=1, min_samples_leaf=400,
+                                       random_state=0)
+        pipeline = make_standard_pipeline(model, ["x"], [])
+        pipeline.fit(table, y)
+        session = RavenSession()
+        session.register_table("t", table)
+        session.register_model("m", pipeline)
+        out = session.sql("SELECT p.score FROM PREDICT(MODEL = m, "
+                          "DATA = t AS d) WITH (score FLOAT) AS p")
+        assert out.num_rows == n
+        assert np.allclose(out.array("score"), out.array("score")[0])
+
+    def test_all_zero_linear_model(self, rng):
+        """L1 so strong every coefficient is zero: constant predictions."""
+        n = 800
+        table = Table.from_arrays(id=np.arange(n), x=rng.normal(size=n),
+                                  z=rng.normal(size=n))
+        y = rng.integers(0, 2, n)  # no signal
+        pipeline = make_standard_pipeline(
+            LogisticRegression(penalty="l1", C=1e-6, max_iter=300),
+            ["x", "z"], [])
+        pipeline.fit(table, y)
+        model = pipeline.final_estimator
+        assert np.all(model.coef_ == 0.0)
+        session = RavenSession()
+        session.register_table("t", table)
+        session.register_model("m", pipeline)
+        for strategy in ("none", "sql"):
+            run = RavenSession(strategy=strategy)
+            run.catalog = session.catalog
+            out = run.sql("SELECT p.score FROM PREDICT(MODEL = m, "
+                          "DATA = t AS d) WITH (score FLOAT) AS p")
+            assert np.allclose(out.array("score"), out.array("score")[0])
+
+    def test_all_inputs_constantized(self, simple_session):
+        """Equality predicates on every input leave a constant-fed model."""
+        session, table, pipeline = simple_session
+        noopt = RavenSession(enable_optimizations=False)
+        noopt.catalog = session.catalog
+        query = ("SELECT d.id, p.score FROM PREDICT(MODEL = m, "
+                 "DATA = t AS d) WITH (score FLOAT) AS p "
+                 "WHERE d.x = 0.5 AND d.flag = 1 AND d.c = 'a'")
+        optimized = session.sql(query)
+        reference = noopt.sql(query)
+        assert optimized.num_rows == reference.num_rows
+
+    def test_single_category_encoder(self, rng):
+        n = 300
+        table = Table.from_arrays(x=rng.normal(size=n),
+                                  c=np.full(n, "only"))
+        y = (table.array("x") > 0).astype(int)
+        pipeline = make_standard_pipeline(
+            DecisionTreeClassifier(max_depth=3, random_state=0), ["x"], ["c"])
+        pipeline.fit(table, y)
+        graph = convert_pipeline(pipeline)
+        out = run_graph(graph, {"x": table.array("x"), "c": table.array("c")})
+        assert np.array_equal(out["label"], pipeline.predict(table))
+
+    def test_pushdown_on_constant_model_keeps_one_feature(self, rng):
+        n = 300
+        table = Table.from_arrays(x=rng.normal(size=n), z=rng.normal(size=n))
+        y = np.zeros(n, dtype=int)
+        y[:2] = 1
+        pipeline = make_standard_pipeline(
+            DecisionTreeClassifier(max_depth=1, min_samples_leaf=250,
+                                   random_state=0), ["x", "z"], [])
+        pipeline.fit(table, y)
+        graph = convert_pipeline(pipeline)
+        pushdown_graph(graph)  # must not crash on a no-feature model
+        graph.validate()
+        assert len(graph.inputs) >= 1
+
+
+class TestSessionRobustness:
+    def test_replace_model(self, simple_session):
+        session, table, pipeline = simple_session
+        session.register_model("m", pipeline, replace=True)
+        out = session.sql("SELECT p.score FROM PREDICT(MODEL = m, "
+                          "DATA = t AS d) WITH (score FLOAT) AS p LIMIT 1")
+        assert out.num_rows == 1
+
+    def test_self_join_aliases(self, simple_session):
+        session, table, _ = simple_session
+        out = session.sql(
+            "SELECT a.x FROM t AS a JOIN t AS b ON a.id = b.id "
+            "WHERE b.flag = 1")
+        expected = int((table.array("flag") == 1).sum())
+        assert out.num_rows == expected
+
+    def test_order_by_prediction_output(self, simple_session):
+        session, _, _ = simple_session
+        out = session.sql(
+            "SELECT d.id, p.score FROM PREDICT(MODEL = m, DATA = t AS d) "
+            "WITH (score FLOAT) AS p ORDER BY score DESC LIMIT 10")
+        scores = out.array("score")
+        assert np.all(scores[:-1] >= scores[1:])
+
+    def test_group_by_prediction_label(self, rng):
+        n = 1_500
+        table = Table.from_arrays(id=np.arange(n), x=rng.normal(size=n))
+        y = np.where(table.array("x") > 0, "pos", "neg")
+        pipeline = make_standard_pipeline(
+            DecisionTreeClassifier(max_depth=2, random_state=0), ["x"], [])
+        pipeline.fit(table, y)
+        session = RavenSession(strategy="none")
+        session.register_table("t", table)
+        session.register_model("m", pipeline)
+        out = session.sql(
+            "SELECT p.label, COUNT(*) AS n FROM PREDICT(MODEL = m, "
+            "DATA = t AS d) WITH (label STRING) AS p GROUP BY label")
+        assert out.num_rows == 2
+        assert out.array("n").sum() == n
+
+    def test_repeated_queries_reuse_session_cache(self, simple_session):
+        session, _, _ = simple_session
+        query = ("SELECT p.score FROM PREDICT(MODEL = m, DATA = t AS d) "
+                 "WITH (score FLOAT) AS p LIMIT 5")
+        first = session.sql(query)
+        second = session.sql(query)
+        assert first.num_rows == second.num_rows == 5

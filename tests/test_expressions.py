@@ -1,0 +1,228 @@
+"""Unit + property tests for the scalar expression language."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExpressionError
+from repro.relational.expressions import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    Cast,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    Literal,
+    UnaryOp,
+    col,
+    conjunction,
+    conjuncts,
+    fold_constants,
+    lit,
+    substitute_columns,
+    transform_expression,
+)
+from repro.storage.column import DataType
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def table():
+    return Table.from_arrays(
+        x=np.asarray([1.0, 2.0, 3.0]),
+        y=np.asarray([10, 20, 30]),
+        s=np.asarray(["a", "b", "a"]),
+        b=np.asarray([True, False, True]),
+    )
+
+
+class TestBasicEvaluation:
+    def test_column_ref(self, table):
+        assert col("x").evaluate(table).tolist() == [1.0, 2.0, 3.0]
+
+    def test_literal_broadcast(self, table):
+        assert lit(5).evaluate(table).tolist() == [5, 5, 5]
+
+    def test_string_literal_full_width(self, table):
+        values = lit("hello").evaluate(table)
+        assert values[0] == "hello"  # regression: <U1 truncation
+
+    def test_arithmetic(self, table):
+        expr = (col("x") + lit(1.0)) * lit(2.0)
+        assert expr.evaluate(table).tolist() == [4.0, 6.0, 8.0]
+
+    def test_division_is_float(self, table):
+        expr = col("y") / lit(4)
+        assert expr.output_dtype(table.schema) is DataType.FLOAT
+        assert expr.evaluate(table).tolist() == [2.5, 5.0, 7.5]
+
+    def test_comparison(self, table):
+        assert col("x").gt(1.5).evaluate(table).tolist() == [False, True, True]
+
+    def test_string_comparison(self, table):
+        assert col("s").eq("a").evaluate(table).tolist() == [True, False, True]
+
+    def test_logical(self, table):
+        expr = BinaryOp("and", col("b"), col("x").lt(3.0))
+        assert expr.evaluate(table).tolist() == [True, False, False]
+        expr = BinaryOp("or", col("b"), col("x").ge(2.0))
+        assert expr.evaluate(table).tolist() == [True, True, True]
+
+    def test_unary(self, table):
+        assert UnaryOp("not", col("b")).evaluate(table).tolist() == \
+            [False, True, False]
+        assert UnaryOp("-", col("x")).evaluate(table).tolist() == \
+            [-1.0, -2.0, -3.0]
+
+    def test_between_inclusive(self, table):
+        expr = Between(col("x"), lit(1.0), lit(2.0))
+        assert expr.evaluate(table).tolist() == [True, True, False]
+
+    def test_in_list(self, table):
+        assert InList(col("s"), ["a"]).evaluate(table).tolist() == \
+            [True, False, True]
+        assert InList(col("y"), [10, 30]).evaluate(table).tolist() == \
+            [True, False, True]
+
+    def test_in_list_empty_rejected(self, table):
+        with pytest.raises(ExpressionError):
+            InList(col("s"), [])
+
+    def test_case_when_first_match(self, table):
+        expr = CaseWhen([(col("x").le(1.0), lit(100.0)),
+                         (col("x").le(2.0), lit(200.0))], lit(0.0))
+        assert expr.evaluate(table).tolist() == [100.0, 200.0, 0.0]
+
+    def test_case_when_strings(self, table):
+        expr = CaseWhen([(col("b"), lit("yes"))], lit("no"))
+        assert expr.evaluate(table).tolist() == ["yes", "no", "yes"]
+
+    def test_cast(self, table):
+        assert Cast(col("x"), DataType.INT).evaluate(table).dtype == np.int64
+        assert Cast(col("y"), DataType.STRING).evaluate(table).tolist() == \
+            ["10", "20", "30"]
+
+    def test_functions(self, table):
+        assert np.allclose(FunctionCall("abs", [UnaryOp("-", col("x"))])
+                           .evaluate(table), [1.0, 2.0, 3.0])
+        sig = FunctionCall("sigmoid", [lit(0.0)]).evaluate(table)
+        assert np.allclose(sig, 0.5)
+
+    def test_sigmoid_extreme_values_stable(self, table):
+        values = FunctionCall("sigmoid", [lit(-800.0)]).evaluate(table)
+        assert np.all(np.isfinite(values))
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ExpressionError):
+            FunctionCall("nope", [lit(1)])
+
+    def test_function_arity_checked(self):
+        with pytest.raises(ExpressionError):
+            FunctionCall("abs", [lit(1), lit(2)])
+
+
+class TestTypeDerivation:
+    def test_comparison_is_bool(self, table):
+        assert col("x").eq(1.0).output_dtype(table.schema) is DataType.BOOL
+
+    def test_int_plus_float_promotes(self, table):
+        expr = col("y") + col("x")
+        assert expr.output_dtype(table.schema) is DataType.FLOAT
+
+    def test_int_plus_int_stays_int(self, table):
+        assert (col("y") + lit(1)).output_dtype(table.schema) is DataType.INT
+
+    def test_case_mixing_rejected(self, table):
+        expr = CaseWhen([(col("b"), lit("x"))], lit(1.0))
+        with pytest.raises(ExpressionError):
+            expr.output_dtype(table.schema)
+
+
+class TestStructural:
+    def test_equality_and_hash(self):
+        a = (col("x") + lit(1.0)).gt(2.0)
+        b = (col("x") + lit(1.0)).gt(2.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != (col("x") + lit(2.0)).gt(2.0)
+
+    def test_referenced_columns(self):
+        expr = CaseWhen([(col("a").gt(col("b")), col("c"))], lit(0.0))
+        assert expr.referenced_columns() == {"a", "b", "c"}
+
+    def test_conjuncts_flatten(self):
+        expr = BinaryOp("and", BinaryOp("and", col("a"), col("b")), col("c"))
+        assert len(conjuncts(expr)) == 3
+
+    def test_conjunction_roundtrip(self):
+        parts = [col("a"), col("b"), col("c")]
+        assert conjuncts(conjunction(parts)) == parts
+        assert conjunction([]) is None
+
+    def test_substitute_columns(self):
+        expr = col("a") + col("b")
+        replaced = substitute_columns(expr, {"a": lit(1.0)})
+        assert replaced == lit(1.0) + col("b")
+
+    def test_transform_rebuilds_only_on_change(self):
+        expr = col("a") + col("b")
+        unchanged = transform_expression(expr, lambda node: None)
+        assert unchanged is expr
+
+
+class TestConstantFolding:
+    def test_folds_arithmetic(self):
+        expr = (lit(2.0) + lit(3.0)) * lit(4.0)
+        assert fold_constants(expr) == lit(20.0)
+
+    def test_folds_inside_case(self):
+        expr = CaseWhen([(col("x").gt(lit(1.0) + lit(1.0)), lit(1.0))], lit(0.0))
+        folded = fold_constants(expr)
+        assert folded == CaseWhen([(col("x").gt(lit(2.0)), lit(1.0))], lit(0.0))
+
+    def test_boolean_shortcuts(self):
+        assert fold_constants(BinaryOp("and", col("p"), lit(True))) == col("p")
+        assert fold_constants(BinaryOp("and", col("p"), lit(False))) == lit(False)
+        assert fold_constants(BinaryOp("or", col("p"), lit(True))) == lit(True)
+        assert fold_constants(BinaryOp("or", col("p"), lit(False))) == col("p")
+
+    def test_does_not_fold_division_by_zero(self):
+        expr = lit(1.0) / lit(0.0)
+        assert isinstance(fold_constants(expr), BinaryOp)
+
+
+# ---------------------------------------------------------------------------
+# Property tests: expression evaluation matches Python semantics
+# ---------------------------------------------------------------------------
+
+_floats = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+@given(st.lists(_floats, min_size=1, max_size=20), _floats, _floats)
+@settings(max_examples=60, deadline=None)
+def test_affine_matches_python(values, offset, scale):
+    table = Table.from_arrays(x=np.asarray(values))
+    expr = (col("x") - lit(offset)) * lit(scale)
+    expected = [(v - offset) * scale for v in values]
+    assert np.allclose(expr.evaluate(table), expected)
+
+
+@given(st.lists(_floats, min_size=1, max_size=20), _floats)
+@settings(max_examples=60, deadline=None)
+def test_case_when_matches_python(values, threshold):
+    table = Table.from_arrays(x=np.asarray(values))
+    expr = CaseWhen([(col("x").le(threshold), lit(1.0))], lit(0.0))
+    expected = [1.0 if v <= threshold else 0.0 for v in values]
+    assert expr.evaluate(table).tolist() == expected
+
+
+@given(st.lists(_floats, min_size=1, max_size=20),
+       st.floats(min_value=-50, max_value=50, allow_nan=False),
+       st.floats(min_value=-50, max_value=50, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_between_matches_python(values, low, high):
+    table = Table.from_arrays(x=np.asarray(values))
+    expr = Between(col("x"), lit(low), lit(high))
+    expected = [low <= v <= high for v in values]
+    assert expr.evaluate(table).tolist() == expected

@@ -1,0 +1,200 @@
+"""Tests for NaN imputation through every layer + regressor ensembles."""
+
+import numpy as np
+import pytest
+
+from repro import RavenSession, Table
+from repro.core.rules import pushdown_graph
+from repro.core.rules.intervals import InputConstraints, Interval, propagate
+from repro.core.rules.ml_to_sql import graph_to_expressions
+from repro.learn import (
+    AdaBoostRegressor,
+    ColumnTransformer,
+    DecisionTreeClassifier,
+    Pipeline,
+    RandomForestRegressor,
+    SimpleImputer,
+    StandardScaler,
+    make_standard_pipeline,
+)
+from repro.onnxlite import convert_model, convert_pipeline, run_graph
+from repro.tensor import compile_graph, cpu_runtime
+
+
+@pytest.fixture()
+def nan_frame(rng):
+    n = 2_000
+    x = rng.normal(10.0, 2.0, n)
+    z = rng.normal(-5.0, 1.0, n)
+    x[rng.random(n) < 0.15] = np.nan
+    z[rng.random(n) < 0.10] = np.nan
+    return Table.from_arrays(id=np.arange(n), x=x, z=z,
+                             c=rng.choice(["a", "b"], n))
+
+
+def _imputing_pipeline(model):
+    return Pipeline([
+        ("features", ColumnTransformer([
+            ("num", Pipeline([("impute", SimpleImputer(strategy="mean")),
+                              ("scale", StandardScaler())]), ["x", "z"]),
+        ])),
+        ("model", model),
+    ])
+
+
+class TestSimpleImputer:
+    def test_mean_median_constant(self):
+        X = np.asarray([[1.0, np.nan], [3.0, 4.0], [np.nan, 8.0]])
+        mean = SimpleImputer("mean").fit(X)
+        assert np.allclose(mean.statistics_, [2.0, 6.0])
+        median = SimpleImputer("median").fit(X)
+        assert np.allclose(median.statistics_, [2.0, 6.0])
+        constant = SimpleImputer("constant", fill_value=-1.0).fit(X)
+        assert np.allclose(constant.statistics_, [-1.0, -1.0])
+        out = mean.transform(np.asarray([[np.nan, np.nan]]))
+        assert out.tolist() == [[2.0, 6.0]]
+
+    def test_all_nan_column_uses_fill(self):
+        X = np.asarray([[np.nan], [np.nan]])
+        imputer = SimpleImputer("mean", fill_value=7.0).fit(X)
+        assert imputer.statistics_.tolist() == [7.0]
+
+    def test_bad_strategy(self):
+        with pytest.raises(ValueError):
+            SimpleImputer("mode")
+
+    def test_no_nan_passthrough(self):
+        X = np.asarray([[1.0], [2.0]])
+        out = SimpleImputer().fit_transform(X)
+        assert np.array_equal(out, X)
+
+
+class TestImputerThroughTheStack:
+    def _fit(self, nan_frame):
+        labels = (np.nan_to_num(nan_frame.array("x"), nan=10.0) > 10).astype(int)
+        pipeline = _imputing_pipeline(
+            DecisionTreeClassifier(max_depth=4, random_state=0))
+        pipeline.fit(nan_frame, labels)
+        return pipeline, labels
+
+    def test_converted_graph_matches_pipeline(self, nan_frame):
+        pipeline, _ = self._fit(nan_frame)
+        graph = convert_pipeline(pipeline)
+        assert "Imputer" in graph.operator_counts()
+        out = run_graph(graph, {"x": nan_frame.array("x"),
+                                "z": nan_frame.array("z")})
+        expected = pipeline.predict_proba(nan_frame)[:, 1]
+        assert np.allclose(out["score"][:, 0], expected, atol=1e-12)
+
+    def test_mltosql_matches_runtime(self, nan_frame):
+        pipeline, _ = self._fit(nan_frame)
+        graph = convert_pipeline(pipeline)
+        expressions = graph_to_expressions(graph, {"x": "x", "z": "z"})
+        score = expressions["score"].evaluate(nan_frame)
+        expected = pipeline.predict_proba(nan_frame)[:, 1]
+        assert np.allclose(score, expected, atol=1e-9)
+
+    def test_mltodnn_matches_runtime(self, nan_frame):
+        pipeline, _ = self._fit(nan_frame)
+        graph = convert_pipeline(pipeline)
+        result = cpu_runtime().run(graph, {"x": nan_frame.array("x"),
+                                           "z": nan_frame.array("z")})
+        expected = pipeline.predict_proba(nan_frame)[:, 1]
+        assert np.allclose(result.outputs["score"][:, 0], expected, atol=1e-9)
+
+    def test_interval_propagation_hull(self):
+        from repro.onnxlite import Graph, Node, TensorInfo
+        graph = Graph("g", [TensorInfo("x")], ["out"])
+        graph.add_node(Node("Imputer", ["x"], ["out"],
+                            {"imputed_values": np.asarray([100.0])}))
+        vectors = propagate(graph, InputConstraints(
+            {"x": Interval(0.0, 10.0)}, {}))
+        # Output is input OR the fill value -> hull [0, 100].
+        assert vectors["out"][0].low == 0.0
+        assert vectors["out"][0].high == 100.0
+
+    def test_projection_pushes_through_imputer(self, nan_frame):
+        pipeline, _ = self._fit(nan_frame)
+        graph = convert_pipeline(pipeline)
+        model_node = next(n for n in graph.nodes
+                          if n.op_type == "TreeEnsembleClassifier")
+        used = set()
+        for tree in model_node.attrs["trees"]:
+            used |= tree.features_used()
+        removed, info = pushdown_graph(graph)
+        graph.validate()
+        if len(used) < 2:  # one input unused -> must be removed
+            assert removed
+
+    def test_end_to_end_session_with_nans(self, nan_frame):
+        pipeline, labels = self._fit(nan_frame)
+        session = RavenSession(strategy="sql")
+        session.register_table("t", nan_frame, primary_key=["id"])
+        session.register_model("m", pipeline)
+        reference = RavenSession(enable_optimizations=False)
+        reference.catalog = session.catalog
+        query = ("SELECT d.id, p.score FROM PREDICT(MODEL = m, "
+                 "DATA = t AS d) WITH (score FLOAT) AS p WHERE p.score > 0.5")
+        a = session.sql(query)
+        b = reference.sql(query)
+        assert a.num_rows == b.num_rows
+
+    def test_isnan_sql_rendering(self):
+        from repro.relational import FunctionCall, col, expression_to_sql
+        sql = expression_to_sql(FunctionCall("isnan", [col("x")]))
+        assert sql == "([x] IS NULL)"
+
+
+class TestRegressorEnsembles:
+    @pytest.fixture(scope="class")
+    def regression_data(self):
+        rng = np.random.default_rng(17)
+        X = rng.normal(size=(2_000, 4))
+        y = 2.0 * X[:, 0] + np.sin(X[:, 1] * 3.0) + rng.normal(0, 0.1, 2_000)
+        return X, y
+
+    def test_random_forest_regressor_fits(self, regression_data):
+        X, y = regression_data
+        model = RandomForestRegressor(n_estimators=15, max_depth=7,
+                                      random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_adaboost_regressor_fits(self, regression_data):
+        X, y = regression_data
+        model = AdaBoostRegressor(n_estimators=15, max_depth=4,
+                                  random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.8
+        assert len(model.estimator_weights_) == len(model.estimators_)
+
+    def test_adaboost_weights_positive(self, regression_data):
+        X, y = regression_data
+        model = AdaBoostRegressor(n_estimators=10, max_depth=3,
+                                  random_state=0).fit(X, y)
+        assert np.all(model.estimator_weights_ > 0)
+
+    @pytest.mark.parametrize("factory", [
+        lambda: RandomForestRegressor(n_estimators=8, max_depth=5,
+                                      random_state=0),
+        lambda: AdaBoostRegressor(n_estimators=8, max_depth=3,
+                                  random_state=0),
+    ])
+    def test_conversion_exact(self, regression_data, factory):
+        X, y = regression_data
+        model = factory().fit(X, y)
+        graph = convert_model(model, 4)
+        out = run_graph(graph, {"features": X})
+        assert np.allclose(out["score"][:, 0], model.predict(X), atol=1e-9)
+
+    @pytest.mark.parametrize("factory", [
+        lambda: RandomForestRegressor(n_estimators=6, max_depth=4,
+                                      random_state=0),
+        lambda: AdaBoostRegressor(n_estimators=6, max_depth=3,
+                                  random_state=0),
+    ])
+    def test_tensor_compilation_exact(self, regression_data, factory):
+        X, y = regression_data
+        model = factory().fit(X, y)
+        graph = convert_model(model, 4)
+        result = cpu_runtime().run(graph, {"features": X})
+        assert np.allclose(result.outputs["score"][:, 0], model.predict(X),
+                           atol=1e-9)

@@ -1,0 +1,188 @@
+"""Tests for Pipeline/ColumnTransformer, metrics, and data splitting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, SchemaError
+from repro.learn import (
+    ColumnTransformer,
+    DecisionTreeClassifier,
+    KFold,
+    OneHotEncoder,
+    Pipeline,
+    StandardScaler,
+    StratifiedKFold,
+    accuracy_score,
+    f1_score,
+    log_loss,
+    make_standard_pipeline,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    train_test_split,
+)
+from repro.storage import Table
+
+
+@pytest.fixture()
+def frame(rng):
+    n = 600
+    return Table.from_arrays(
+        a=rng.normal(0, 1, n),
+        b=rng.normal(5, 2, n),
+        c=rng.choice(["x", "y", "z"], n),
+    )
+
+
+@pytest.fixture()
+def labels(frame):
+    return ((frame.array("a") > 0) | (frame.array("c") == "x")).astype(int)
+
+
+class TestColumnTransformer:
+    def test_output_layout(self, frame):
+        transformer = ColumnTransformer([
+            ("num", StandardScaler(), ["a", "b"]),
+            ("cat", OneHotEncoder(), ["c"]),
+        ])
+        out = transformer.fit_transform(frame)
+        assert out.shape == (frame.num_rows, 2 + 3)
+        slices = dict(transformer.output_slices_)
+        assert slices["num"] == slice(0, 2)
+        assert slices["cat"] == slice(2, 5)
+        assert transformer.n_output_features_ == 5
+
+    def test_input_columns(self, frame):
+        transformer = ColumnTransformer([
+            ("num", StandardScaler(), ["a"]),
+            ("cat", OneHotEncoder(), ["c"]),
+        ])
+        assert transformer.input_columns == ["a", "c"]
+
+    def test_dict_input(self, frame):
+        transformer = ColumnTransformer([("num", StandardScaler(), ["a"])])
+        out = transformer.fit_transform({"a": frame.array("a")})
+        assert out.shape == (frame.num_rows, 1)
+
+    def test_missing_column(self, frame):
+        transformer = ColumnTransformer([("num", StandardScaler(), ["zz"])])
+        with pytest.raises(SchemaError):
+            transformer.fit(frame)
+
+    def test_unfitted(self, frame):
+        transformer = ColumnTransformer([("num", StandardScaler(), ["a"])])
+        with pytest.raises(NotFittedError):
+            transformer.transform(frame)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnTransformer([])
+
+
+class TestPipeline:
+    def test_fit_predict(self, frame, labels):
+        pipeline = make_standard_pipeline(
+            DecisionTreeClassifier(max_depth=5, random_state=0),
+            ["a", "b"], ["c"])
+        pipeline.fit(frame, labels)
+        assert pipeline.score(frame, labels) > 0.9
+        proba = pipeline.predict_proba(frame)
+        assert proba.shape == (frame.num_rows, 2)
+
+    def test_named_steps(self, frame, labels):
+        pipeline = make_standard_pipeline(
+            DecisionTreeClassifier(random_state=0), ["a"], ["c"])
+        assert set(pipeline.named_steps) == {"features", "model"}
+
+    def test_duplicate_step_names(self):
+        with pytest.raises(ValueError):
+            Pipeline([("s", StandardScaler()), ("s", StandardScaler())])
+
+    def test_make_standard_requires_columns(self):
+        with pytest.raises(ValueError):
+            make_standard_pipeline(DecisionTreeClassifier(), [], [])
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_accuracy_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1], [1, 2])
+
+    def test_auc_perfect_and_random(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+        assert roc_auc_score([0, 1], [0.5, 0.5]) == 0.5
+
+    def test_auc_with_ties_uses_average_ranks(self):
+        auc = roc_auc_score([0, 0, 1, 1], [0.3, 0.5, 0.5, 0.9])
+        assert auc == pytest.approx(0.875)
+
+    def test_auc_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            roc_auc_score([1, 1], [0.1, 0.9])
+
+    def test_log_loss_bounds(self):
+        assert log_loss([0, 1], [[0.9, 0.1], [0.1, 0.9]]) < \
+            log_loss([0, 1], [[0.5, 0.5], [0.5, 0.5]])
+
+    def test_log_loss_1d_probabilities(self):
+        value = log_loss([0, 1], [0.1, 0.9])
+        assert value == pytest.approx(-np.log(0.9))
+
+    def test_precision_recall_f1(self):
+        y_true = [1, 1, 0, 0]
+        y_pred = [1, 0, 1, 0]
+        assert precision_score(y_true, y_pred) == 0.5
+        assert recall_score(y_true, y_pred) == 0.5
+        assert f1_score(y_true, y_pred) == 0.5
+
+    def test_f1_degenerate(self):
+        assert f1_score([0, 0], [0, 0]) == 0.0
+
+
+class TestSplitting:
+    def test_train_test_split_sizes(self):
+        X = np.arange(100)
+        train, test = train_test_split(X, test_size=0.25, random_state=0)
+        assert len(train) == 75 and len(test) == 25
+        assert sorted(np.concatenate([train, test]).tolist()) == list(range(100))
+
+    def test_multiple_arrays_aligned(self):
+        X = np.arange(50)
+        y = np.arange(50) * 10
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, random_state=1)
+        assert np.array_equal(y_tr, X_tr * 10)
+
+    def test_split_tables(self, frame):
+        train, test = train_test_split(frame, test_size=0.3, random_state=0)
+        assert train.num_rows + test.num_rows == frame.num_rows
+
+    def test_stratified_split_preserves_rate(self):
+        y = np.asarray([0] * 80 + [1] * 20)
+        _tr, te = train_test_split(y, test_size=0.5, random_state=0, stratify=y)
+        assert np.isclose(te.mean(), 0.2, atol=0.05)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(5), np.arange(6))
+
+    def test_kfold_partitions(self):
+        folds = list(KFold(4, random_state=0).split(np.arange(20)))
+        assert len(folds) == 4
+        all_test = np.sort(np.concatenate([te for _, te in folds]))
+        assert np.array_equal(all_test, np.arange(20))
+        for train, test in folds:
+            assert len(set(train) & set(test)) == 0
+
+    def test_stratified_kfold_balance(self):
+        y = np.asarray([0] * 40 + [1] * 10)
+        for train, test in StratifiedKFold(5, random_state=0).split(np.zeros(50), y):
+            assert np.isclose(y[test].mean(), 0.2, atol=0.01)
+
+    def test_kfold_validation(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+        with pytest.raises(ValueError):
+            StratifiedKFold(0)

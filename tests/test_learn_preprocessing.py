@@ -1,0 +1,152 @@
+"""Tests for featurizers (scalers, encoders, normalizers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NotFittedError
+from repro.learn import (
+    Binarizer,
+    LabelEncoder,
+    MinMaxScaler,
+    Normalizer,
+    OneHotEncoder,
+    StandardScaler,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        X = np.asarray([[1.0, 10.0], [3.0, 30.0], [5.0, 50.0]])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0)
+        assert np.allclose(scaled.std(axis=0), 1.0)
+
+    def test_constant_feature_untouched(self):
+        X = np.asarray([[5.0], [5.0], [5.0]])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled, 0.0)  # (x - mean) / 1
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((1, 1)))
+
+    def test_1d_input_promoted(self):
+        scaled = StandardScaler().fit_transform(np.asarray([1.0, 2.0, 3.0]))
+        assert scaled.shape == (3, 1)
+
+    def test_without_mean_or_std(self):
+        X = np.asarray([[2.0], [4.0]])
+        assert np.allclose(
+            StandardScaler(with_mean=False, with_std=False).fit_transform(X), X)
+
+
+class TestMinMaxScaler:
+    def test_unit_range(self):
+        X = np.asarray([[0.0], [5.0], [10.0]])
+        scaled = MinMaxScaler().fit_transform(X)
+        assert scaled.min() == 0.0 and scaled.max() == 1.0
+
+    def test_constant_feature(self):
+        scaled = MinMaxScaler().fit_transform(np.asarray([[3.0], [3.0]]))
+        assert np.allclose(scaled, 0.0)
+
+
+class TestNormalizer:
+    @pytest.mark.parametrize("norm,expected", [
+        ("l2", 1.0), ("l1", 1.0), ("max", 1.0)])
+    def test_unit_norm_rows(self, norm, expected):
+        X = np.asarray([[3.0, 4.0], [1.0, 1.0]])
+        normalized = Normalizer(norm=norm).fit_transform(X)
+        if norm == "l2":
+            norms = np.sqrt((normalized ** 2).sum(axis=1))
+        elif norm == "l1":
+            norms = np.abs(normalized).sum(axis=1)
+        else:
+            norms = np.abs(normalized).max(axis=1)
+        assert np.allclose(norms, expected)
+
+    def test_zero_row_unchanged(self):
+        normalized = Normalizer().fit_transform(np.zeros((1, 3)))
+        assert np.allclose(normalized, 0.0)
+
+    def test_bad_norm(self):
+        with pytest.raises(ValueError):
+            Normalizer(norm="l3")
+
+
+class TestBinarizer:
+    def test_thresholding(self):
+        X = np.asarray([[-1.0, 0.0, 0.5]])
+        assert Binarizer(threshold=0.0).fit_transform(X).tolist() == \
+            [[0.0, 0.0, 1.0]]
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        encoder = LabelEncoder()
+        codes = encoder.fit_transform(["b", "a", "b", "c"])
+        assert codes.tolist() == [1, 0, 1, 2]
+        assert encoder.inverse_transform(codes).tolist() == ["b", "a", "b", "c"]
+
+    def test_unseen_label_raises(self):
+        encoder = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError):
+            encoder.transform(["z"])
+
+    def test_numeric_labels(self):
+        encoder = LabelEncoder().fit([3, 1, 2])
+        assert encoder.transform([1, 3]).tolist() == [0, 2]
+
+
+class TestOneHotEncoder:
+    def test_dense_encoding(self):
+        X = np.asarray([["a"], ["b"], ["a"]])
+        encoded = OneHotEncoder().fit_transform(X)
+        assert encoded.tolist() == [[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]]
+
+    def test_multi_column_blocks(self):
+        X = np.column_stack([np.asarray(["a", "b"]), np.asarray(["x", "x"])])
+        encoder = OneHotEncoder().fit(X)
+        assert encoder.n_output_features_ == 3
+        assert encoder.category_offsets() == [0, 2]
+        encoded = encoder.transform(X)
+        assert encoded.shape == (2, 3)
+
+    def test_unknown_encodes_to_zeros(self):
+        encoder = OneHotEncoder().fit(np.asarray([["a"], ["b"]]))
+        encoded = encoder.transform(np.asarray([["z"]]))
+        assert encoded.tolist() == [[0.0, 0.0]]
+
+    def test_column_count_mismatch(self):
+        encoder = OneHotEncoder().fit(np.asarray([["a"]]))
+        with pytest.raises(ValueError):
+            encoder.transform(np.asarray([["a", "b"]]))  # 2 cols vs 1 fitted
+
+    def test_rows_sum_to_one_for_known(self):
+        X = np.asarray([["a"], ["b"], ["c"], ["a"]])
+        encoded = OneHotEncoder().fit_transform(X)
+        assert np.allclose(encoded.sum(axis=1), 1.0)
+
+
+@given(st.lists(st.sampled_from("abcde"), min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_one_hot_is_exact_indicator(values):
+    """Property: output[i, j] == 1 iff row i equals category j."""
+    X = np.asarray(values).reshape(-1, 1)
+    encoder = OneHotEncoder().fit(X)
+    encoded = encoder.transform(X)
+    categories = encoder.categories_[0]
+    for i, value in enumerate(values):
+        for j, category in enumerate(categories):
+            assert encoded[i, j] == (1.0 if value == category else 0.0)
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_standard_scaler_inverse(values):
+    """Property: scaling is invertible via mean_/scale_."""
+    X = np.asarray(values).reshape(-1, 1)
+    scaler = StandardScaler().fit(X)
+    restored = scaler.transform(X) * scaler.scale_ + scaler.mean_
+    assert np.allclose(restored, X, atol=1e-6 * max(1.0, np.abs(X).max()))

@@ -1,0 +1,308 @@
+"""Tests for the onnxlite graph format, ops, runtime, and serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphError, UnsupportedOperatorError
+from repro.onnxlite import (
+    FLOAT,
+    Graph,
+    InferenceSession,
+    Node,
+    STRING,
+    TensorInfo,
+    convert_model,
+    convert_pipeline,
+    graph_from_dict,
+    graph_to_dict,
+    infer_edge_info,
+    run_graph,
+    supported_operators,
+)
+from repro.onnxlite.serialize import flatten_tree, unflatten_tree
+from repro.learn import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    Lasso,
+    LinearRegression,
+    LogisticRegression,
+    RandomForestClassifier,
+    make_standard_pipeline,
+)
+from repro.learn.tree import TreeNode
+from repro.storage import Table
+
+
+class TestGraphStructure:
+    def _simple(self) -> Graph:
+        graph = Graph("g", [TensorInfo("x"), TensorInfo("y")], ["out"])
+        graph.add_node(Node("Concat", ["x", "y"], ["xy"]))
+        graph.add_node(Node("Scaler", ["xy"], ["out"],
+                            {"offset": np.zeros(2), "scale": np.ones(2)}))
+        return graph
+
+    def test_topological_order(self):
+        graph = self._simple()
+        # Insert nodes out of order; topo sort must fix it.
+        graph.nodes.reverse()
+        order = [n.op_type for n in graph.topological_nodes()]
+        assert order == ["Concat", "Scaler"]
+
+    def test_cycle_detected(self):
+        graph = Graph("g", [TensorInfo("x")], ["a"])
+        graph.add_node(Node("Identity", ["b"], ["a"]))
+        graph.add_node(Node("Identity", ["a"], ["b"]))
+        with pytest.raises(GraphError):
+            graph.topological_nodes()
+
+    def test_validate_missing_output(self):
+        graph = Graph("g", [TensorInfo("x")], ["nothing"])
+        with pytest.raises(GraphError):
+            graph.validate()
+
+    def test_producers_consumers(self):
+        graph = self._simple()
+        assert graph.producers()["xy"].op_type == "Concat"
+        assert [n.op_type for n in graph.consumers()["xy"]] == ["Scaler"]
+        assert graph.node_by_output("out").op_type == "Scaler"
+
+    def test_double_producer_rejected(self):
+        graph = Graph("g", [TensorInfo("x")], ["a"])
+        graph.add_node(Node("Identity", ["x"], ["a"]))
+        graph.add_node(Node("Identity", ["x"], ["a"]))
+        with pytest.raises(GraphError):
+            graph.producers()
+
+    def test_prune_dead_nodes(self):
+        graph = self._simple()
+        graph.add_node(Node("Identity", ["xy"], ["unused"]))
+        removed = graph.prune_dead_nodes()
+        assert removed == 1
+        assert all(n.outputs != ["unused"] for n in graph.nodes)
+
+    def test_prune_dead_inputs(self):
+        graph = Graph("g", [TensorInfo("x"), TensorInfo("dead")], ["out"])
+        graph.add_node(Node("Identity", ["x"], ["out"]))
+        assert graph.prune_dead_inputs() == ["dead"]
+        assert graph.input_names == ["x"]
+
+    def test_fresh_edge_avoids_collisions(self):
+        graph = self._simple()
+        assert graph.fresh_edge("xy") == "xy_1"
+        assert graph.fresh_edge("new") == "new"
+
+    def test_rename_edge(self):
+        graph = self._simple()
+        graph.rename_edge("xy", "features")
+        assert graph.producers()["features"].op_type == "Concat"
+
+    def test_copy_is_deep(self):
+        graph = self._simple()
+        clone = graph.copy()
+        clone.nodes[1].attrs["scale"][0] = 99.0
+        assert graph.nodes[1].attrs["scale"][0] == 1.0
+
+    def test_operator_counts(self):
+        counts = self._simple().operator_counts()
+        assert counts == {"Concat": 1, "Scaler": 1}
+
+    def test_pretty_renders(self):
+        text = self._simple().pretty()
+        assert "Concat" in text and "inputs" in text
+
+
+class TestKernels:
+    def test_run_graph_simple(self):
+        graph = Graph("g", [TensorInfo("x")], ["out"])
+        graph.add_node(Node("Scaler", ["x"], ["out"],
+                            {"offset": np.asarray([1.0]),
+                             "scale": np.asarray([2.0])}))
+        out = run_graph(graph, {"x": np.asarray([3.0, 5.0])})
+        assert out["out"][:, 0].tolist() == [4.0, 8.0]
+
+    def test_missing_input_raises(self):
+        graph = Graph("g", [TensorInfo("x")], ["x"])
+        with pytest.raises(GraphError):
+            run_graph(graph, {})
+
+    def test_batch_length_mismatch(self):
+        graph = Graph("g", [TensorInfo("x"), TensorInfo("y")], ["x"])
+        with pytest.raises(GraphError):
+            run_graph(graph, {"x": np.zeros(2), "y": np.zeros(3)})
+
+    def test_one_hot_unknown_is_zero(self):
+        graph = Graph("g", [TensorInfo("s", STRING)], ["out"])
+        graph.add_node(Node("OneHotEncoder", ["s"], ["out"],
+                            {"categories": np.asarray(["a", "b"])}))
+        out = run_graph(graph, {"s": np.asarray(["a", "z"])})
+        assert out["out"].tolist() == [[1.0, 0.0], [0.0, 0.0]]
+
+    def test_label_encoder_with_default(self):
+        graph = Graph("g", [TensorInfo("s", STRING)], ["out"])
+        graph.add_node(Node("LabelEncoder", ["s"], ["out"], {
+            "keys": np.asarray(["a", "b"]),
+            "values": np.asarray([10.0, 20.0]), "default": -5.0}))
+        out = run_graph(graph, {"s": np.asarray(["b", "zzz", "a"])})
+        assert out["out"][:, 0].tolist() == [20.0, -5.0, 10.0]
+
+    def test_constant_tiles_to_batch(self):
+        graph = Graph("g", [TensorInfo("x")], ["c"])
+        graph.add_node(Node("Constant", [], ["c"], {"value": np.asarray([7.0])}))
+        out = run_graph(graph, {"x": np.zeros(3)})
+        assert out["c"].shape == (3, 1)
+        assert np.all(out["c"] == 7.0)
+
+    def test_feature_extractor(self):
+        graph = Graph("g", [TensorInfo("x", FLOAT, 3)], ["out"])
+        graph.add_node(Node("FeatureExtractor", ["x"], ["out"],
+                            {"indices": [2, 0]}))
+        out = run_graph(graph, {"x": np.asarray([[1.0, 2.0, 3.0]])})
+        assert out["out"].tolist() == [[3.0, 1.0]]
+
+    def test_unsupported_operator(self):
+        graph = Graph("g", [TensorInfo("x")], ["out"])
+        graph.add_node(Node("Conv2D", ["x"], ["out"]))
+        with pytest.raises(UnsupportedOperatorError):
+            InferenceSession(graph)
+
+    def test_supported_operators_list(self):
+        ops = supported_operators()
+        assert "TreeEnsembleClassifier" in ops
+        assert "Scaler" in ops
+
+    def test_edge_info_widths(self, dt_pipeline):
+        graph = convert_pipeline(dt_pipeline)
+        info = infer_edge_info(graph)
+        model_node = next(n for n in graph.nodes
+                          if n.op_type == "TreeEnsembleClassifier")
+        # 5 scaled numeric + smoker(2) + hypertension(3) = 10 features
+        assert info[model_node.inputs[0]].width == 10
+        assert info["label"].width == 0
+        assert info["score"].width == 1
+
+
+class TestConversionFidelity:
+    """The converter must be bit-exact with the learn estimators."""
+
+    @pytest.fixture(scope="class")
+    def frame(self):
+        rng = np.random.default_rng(9)
+        n = 1_500
+        return Table.from_arrays(
+            a=rng.normal(size=n), b=rng.normal(size=n),
+            c=rng.choice(["u", "v", "w"], n)), rng
+
+    @pytest.mark.parametrize("model_factory", [
+        lambda: LogisticRegression(penalty="l2"),
+        lambda: LogisticRegression(penalty="l1", C=0.1, max_iter=500),
+        lambda: DecisionTreeClassifier(max_depth=6, random_state=0),
+        lambda: RandomForestClassifier(n_estimators=7, max_depth=4,
+                                       random_state=0),
+        lambda: GradientBoostingClassifier(n_estimators=9, max_depth=3,
+                                           random_state=0),
+    ])
+    def test_classifier_equivalence(self, frame, model_factory):
+        table, rng = frame
+        y = ((table.array("a") > 0) | (table.array("c") == "u")).astype(int)
+        pipeline = make_standard_pipeline(model_factory(), ["a", "b"], ["c"])
+        pipeline.fit(table, y)
+        graph = convert_pipeline(pipeline)
+        out = run_graph(graph, {k: table.array(k) for k in ("a", "b", "c")})
+        assert np.allclose(out["score"][:, 0],
+                           pipeline.predict_proba(table)[:, 1], atol=1e-12)
+        assert np.array_equal(out["label"], pipeline.predict(table))
+
+    @pytest.mark.parametrize("model_factory", [
+        lambda: LinearRegression(),
+        lambda: Lasso(alpha=0.1),
+        lambda: DecisionTreeRegressor(max_depth=5, random_state=0),
+        lambda: GradientBoostingRegressor(n_estimators=10, max_depth=3,
+                                          random_state=0),
+    ])
+    def test_regressor_equivalence(self, frame, model_factory):
+        table, rng = frame
+        y = table.array("a") * 2.0 + table.array("b")
+        pipeline = make_standard_pipeline(model_factory(), ["a", "b"], ["c"])
+        pipeline.fit(table, y)
+        graph = convert_pipeline(pipeline)
+        out = run_graph(graph, {k: table.array(k) for k in ("a", "b", "c")})
+        assert np.allclose(out["score"][:, 0], pipeline.predict(table),
+                           atol=1e-9)
+
+    def test_convert_model_bare(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(300, 4))
+        y = (X[:, 0] > 0).astype(int)
+        model = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+        graph = convert_model(model, 4)
+        out = run_graph(graph, {"features": X})
+        assert np.array_equal(out["label"], model.predict(X))
+
+    def test_convert_model_with_input_names(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 2))
+        y = (X[:, 0] > 0).astype(int)
+        model = LogisticRegression().fit(X, y)
+        graph = convert_model(model, 2, input_names=["f0", "f1"])
+        out = run_graph(graph, {"f0": X[:, 0], "f1": X[:, 1]})
+        assert np.array_equal(out["label"], model.predict(X))
+
+    def test_unsupported_pipeline_shape(self):
+        with pytest.raises(UnsupportedOperatorError):
+            from repro.learn import Pipeline, StandardScaler
+            convert_pipeline(Pipeline([("only", StandardScaler())]))
+
+
+class TestSerialization:
+    def test_tree_flatten_roundtrip(self):
+        tree = TreeNode(feature=1, threshold=0.5,
+                        left=TreeNode(value=np.asarray([0.2, 0.8]), n_samples=3),
+                        right=TreeNode(value=np.asarray([0.9, 0.1]), n_samples=4),
+                        n_samples=7)
+        flat = flatten_tree(tree)
+        assert flat["nodes_modes"] == ["BRANCH_LEQ", "LEAF", "LEAF"]
+        restored = unflatten_tree(flat)
+        X = np.asarray([[0.0, 0.0], [0.0, 1.0]])
+        assert np.allclose(restored.predict_value(X), tree.predict_value(X))
+
+    def test_graph_roundtrip_all_model_types(self, dt_pipeline, lr_pipeline,
+                                             gb_pipeline, rf_pipeline,
+                                             joined_frame):
+        inputs = {c: joined_frame.array(c) for c in
+                  ("age", "bmi", "bpm", "fev", "asthma", "smoker",
+                   "hypertension")}
+        for pipeline in (dt_pipeline, lr_pipeline, gb_pipeline, rf_pipeline):
+            graph = convert_pipeline(pipeline)
+            restored = graph_from_dict(graph_to_dict(graph))
+            a = run_graph(graph, inputs)
+            b = run_graph(restored, inputs)
+            assert np.allclose(a["score"], b["score"])
+            assert np.array_equal(a["label"], b["label"])
+
+    def test_save_load_file(self, tmp_path, dt_pipeline):
+        from repro.onnxlite import load_graph, save_graph
+        graph = convert_pipeline(dt_pipeline)
+        path = tmp_path / "model.ronnx"
+        save_graph(graph, path)
+        restored = load_graph(path)
+        assert restored.input_names == graph.input_names
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"format": "something-else"})
+
+
+@given(st.integers(0, 5000))
+@settings(max_examples=25, deadline=None)
+def test_random_tree_flatten_roundtrip(seed):
+    """Property: serialization preserves tree predictions exactly."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(120, 3))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+    model = DecisionTreeClassifier(
+        max_depth=int(rng.integers(1, 7)), random_state=seed).fit(X, y)
+    restored = unflatten_tree(flatten_tree(model.tree_))
+    assert np.allclose(restored.predict_value(X), model.tree_.predict_value(X))

@@ -1,0 +1,244 @@
+"""Tests for the SQL tokenizer and parser."""
+
+import pytest
+
+from repro.core.parser import (
+    AggregateCall,
+    PredictRef,
+    SelectStmt,
+    Star,
+    SubqueryRef,
+    TableRef,
+    parse,
+)
+from repro.core.tokens import TokenStream, tokenize
+from repro.errors import ParseError
+from repro.relational.expressions import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    Cast,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    Literal,
+    UnaryOp,
+)
+from repro.storage.column import DataType
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a, 1.5 FROM t WHERE s = 'x'")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["keyword", "ident", "symbol", "number", "keyword",
+                         "ident", "keyword", "ident", "symbol", "string", "eof"]
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("select")[0].is_keyword("select")
+        assert tokenize("SeLeCt")[0].is_keyword("select")
+
+    def test_string_escape(self):
+        token = tokenize("'it''s'")[0]
+        assert token.value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_bracketed_identifier(self):
+        token = tokenize("[weird name]")[0]
+        assert token.kind == "ident" and token.value == "weird name"
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("1 2.5 1e3 1.5e-2") if
+                  t.kind == "number"]
+        assert values == ["1", "2.5", "1e3", "1.5e-2"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a -- comment here\n b")
+        assert [t.value for t in tokens[:-1]] == ["a", "b"]
+
+    def test_neq_normalized(self):
+        assert tokenize("a != b")[1].value == "<>"
+
+    def test_unexpected_char(self):
+        with pytest.raises(ParseError) as exc:
+            tokenize("a ? b")
+        assert "line 1" in str(exc.value)
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        stmt = parse("SELECT a, b FROM t")
+        assert isinstance(stmt.source, TableRef)
+        assert stmt.source.name == "t"
+        assert len(stmt.items) == 2
+
+    def test_star_variants(self):
+        assert isinstance(parse("SELECT * FROM t").items[0].value, Star)
+        item = parse("SELECT d.* FROM t AS d").items[0].value
+        assert isinstance(item, Star) and item.qualifier == "d"
+
+    def test_aliases(self):
+        stmt = parse("SELECT a AS x, b y FROM t AS u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.source.alias == "u"
+
+    def test_where_and_or_precedence(self):
+        stmt = parse("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+        assert isinstance(stmt.where, BinaryOp)
+        assert stmt.where.op == "or"
+        assert stmt.where.right.op == "and"
+
+    def test_arithmetic_precedence(self):
+        stmt = parse("SELECT a + b * 2 FROM t")
+        expr = stmt.items[0].value
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_joins(self):
+        stmt = parse("SELECT * FROM a JOIN b ON a.k = b.k "
+                     "LEFT JOIN c ON b.j = c.j AND b.i = c.i")
+        assert len(stmt.joins) == 2
+        assert stmt.joins[0].how == "inner"
+        assert stmt.joins[1].how == "left"
+        assert len(stmt.joins[1].conditions) == 2
+
+    def test_group_order_limit(self):
+        stmt = parse("SELECT k, COUNT(*) AS n FROM t GROUP BY k "
+                     "ORDER BY k DESC LIMIT 5")
+        assert stmt.group_by == ["k"]
+        assert stmt.order_by == [("k", False)]
+        assert stmt.limit == 5
+        agg = stmt.items[1].value
+        assert isinstance(agg, AggregateCall) and agg.func == "count"
+
+    def test_aggregates(self):
+        stmt = parse("SELECT AVG(v) AS m, SUM(t.v) s, MIN(v), MAX(v) FROM t")
+        funcs = [item.value.func for item in stmt.items]
+        assert funcs == ["avg", "sum", "min", "max"]
+        assert stmt.items[1].value.argument == "t.v"
+
+    def test_between_in_not(self):
+        stmt = parse("SELECT a FROM t WHERE x BETWEEN 1 AND 2 "
+                     "AND s IN ('a', 'b') AND y NOT IN (3)")
+        parts = []
+        def walk(e):
+            if isinstance(e, BinaryOp) and e.op == "and":
+                walk(e.left); walk(e.right)
+            else:
+                parts.append(e)
+        walk(stmt.where)
+        assert isinstance(parts[0], Between)
+        assert isinstance(parts[1], InList)
+        assert isinstance(parts[2], UnaryOp)
+
+    def test_case_when(self):
+        stmt = parse("SELECT CASE WHEN x > 0 THEN 1.0 ELSE 0.0 END FROM t")
+        assert isinstance(stmt.items[0].value, CaseWhen)
+
+    def test_cast_and_functions(self):
+        stmt = parse("SELECT CAST(x AS INT), ABS(y), SIGMOID(z) FROM t")
+        assert isinstance(stmt.items[0].value, Cast)
+        assert stmt.items[0].value.dtype is DataType.INT
+        assert isinstance(stmt.items[1].value, FunctionCall)
+
+    def test_negative_literals(self):
+        stmt = parse("SELECT a FROM t WHERE x > -1.5 AND y IN (-3)")
+        assert isinstance(stmt.where.left.right, UnaryOp)
+
+    def test_booleans(self):
+        stmt = parse("SELECT a FROM t WHERE flag = TRUE")
+        assert stmt.where.right == Literal(True)
+
+    def test_subquery(self):
+        stmt = parse("SELECT a FROM (SELECT a FROM t) AS s")
+        assert isinstance(stmt.source, SubqueryRef)
+        assert stmt.source.alias == "s"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t garbage extra")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a")
+
+
+class TestCtes:
+    def test_single_cte(self):
+        stmt = parse("WITH d AS (SELECT a FROM t) SELECT a FROM d")
+        assert len(stmt.ctes) == 1
+        assert stmt.ctes[0][0] == "d"
+
+    def test_multiple_ctes(self):
+        stmt = parse("WITH x AS (SELECT a FROM t), y AS (SELECT b FROM u) "
+                     "SELECT * FROM x JOIN y ON x.a = y.b")
+        assert [name for name, _ in stmt.ctes] == ["x", "y"]
+
+
+class TestPredictParsing:
+    def test_tvf_form(self):
+        stmt = parse(
+            "SELECT d.id, p.score FROM PREDICT(MODEL = risk, "
+            "DATA = patients AS d) WITH (score FLOAT) AS p WHERE d.a = 1")
+        predict = stmt.source
+        assert isinstance(predict, PredictRef)
+        assert predict.model == "risk"
+        assert predict.alias == "p"
+        assert predict.data.alias == "d"
+        assert predict.with_columns == [("score", DataType.FLOAT)]
+
+    def test_multiple_with_columns(self):
+        stmt = parse(
+            "SELECT * FROM PREDICT(MODEL = m, DATA = t AS d) "
+            "WITH (label STRING, score FLOAT) AS p")
+        assert stmt.source.with_columns == [
+            ("label", DataType.STRING), ("score", DataType.FLOAT)]
+
+    def test_model_with_extension(self):
+        stmt = parse("SELECT * FROM PREDICT(MODEL = covid_risk.onnx, "
+                     "DATA = t AS d) WITH (s FLOAT) AS p")
+        assert stmt.source.model == "covid_risk.onnx"
+
+    def test_quoted_model_path(self):
+        stmt = parse("SELECT * FROM PREDICT(MODEL = '/models/m.onnx', "
+                     "DATA = t AS d) WITH (s FLOAT) AS p")
+        assert stmt.source.model == "/models/m.onnx"
+
+    def test_cte_data_source(self):
+        stmt = parse(
+            "WITH data AS (SELECT * FROM a JOIN b ON a.k = b.k) "
+            "SELECT d.id FROM PREDICT(MODEL = m, DATA = data AS d) "
+            "WITH (s FLOAT) AS p")
+        assert isinstance(stmt.source, PredictRef)
+        assert stmt.source.data.name == "data"
+
+    def test_default_predict_alias(self):
+        stmt = parse("SELECT * FROM PREDICT(MODEL = m, DATA = t AS d) "
+                     "WITH (s FLOAT)")
+        assert stmt.source.alias == "p"
+
+    def test_missing_with_clause(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM PREDICT(MODEL = m, DATA = t AS d)")
+
+    def test_paper_running_example_parses(self, covid_query):
+        stmt = parse(covid_query)
+        assert isinstance(stmt.source, PredictRef)
+        assert stmt.ctes[0][0] == "data"
+        assert stmt.where is not None
+
+
+class TestTokenStreamHelpers:
+    def test_expect_errors_carry_position(self):
+        stream = TokenStream("SELECT x")
+        stream.advance()
+        with pytest.raises(ParseError):
+            stream.expect_keyword("from")
+
+    def test_keyword_as_identifier_allowed_for_data(self):
+        stream = TokenStream("data")
+        assert stream.expect_ident().value == "data"

@@ -1,0 +1,212 @@
+"""Tests for prepared queries, chained models, regression tasks, and
+optimizer fallback paths."""
+
+import numpy as np
+import pytest
+
+from repro import RavenSession, Table
+from repro.core.session import PreparedQuery
+from repro.learn import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    LogisticRegression,
+    make_standard_pipeline,
+)
+
+
+class TestPreparedQueries:
+    def test_prepare_then_execute(self, session, noopt_session, covid_query):
+        prepared = session.prepare(covid_query)
+        assert isinstance(prepared, PreparedQuery)
+        first = prepared.execute()
+        second = prepared.execute()
+        assert first.num_rows == second.num_rows
+        reference = noopt_session.sql(covid_query)
+        assert first.num_rows == reference.num_rows
+
+    def test_execute_skips_optimizer(self, session, covid_query):
+        prepared = session.prepare(covid_query)
+        prepared.execute()
+        assert session.last_run.optimize_seconds == 0.0
+
+    def test_optimized_graphs_exposed(self, session, covid_query):
+        no_transform = RavenSession(strategy="none")
+        no_transform.catalog = session.catalog
+        prepared = no_transform.prepare(covid_query)
+        graphs = prepared.optimized_graphs()
+        assert len(graphs) == 1
+        # The optimized graph lost the unused inputs.
+        assert len(graphs[0].inputs) < 7
+
+    def test_sql_converted_plan_has_no_graphs(self, session, covid_query):
+        sql_session = RavenSession(strategy="sql")
+        sql_session.catalog = session.catalog
+        prepared = sql_session.prepare(covid_query)
+        assert prepared.optimized_graphs() == []
+
+    def test_save_and_reload_optimized_model(self, tmp_path, session,
+                                             covid_query, noopt_session):
+        no_transform = RavenSession(strategy="none")
+        no_transform.catalog = session.catalog
+        prepared = no_transform.prepare(covid_query)
+        paths = prepared.save_models(str(tmp_path))
+        assert len(paths) == 1
+
+        # Re-register the *optimized* model in a fresh session: the saved
+        # graph needs only its surviving inputs.
+        fresh = RavenSession(enable_optimizations=False)
+        fresh.catalog = session.catalog
+        fresh.register_model("covid_risk_opt", paths[0])
+        query = covid_query.replace("covid_risk", "covid_risk_opt")
+        result = fresh.sql(query)
+        reference = noopt_session.sql(covid_query)
+        assert result.num_rows == reference.num_rows
+
+    def test_explain(self, session, covid_query):
+        prepared = session.prepare(covid_query)
+        assert "rules applied" in prepared.explain()
+
+
+class TestRegressionTasks:
+    """Paper footnote 8: Raven also supports regression tasks."""
+
+    @pytest.fixture()
+    def regression_session(self, rng):
+        n = 3_000
+        table = Table.from_arrays(
+            id=np.arange(n),
+            sqft=rng.normal(1800, 400, n),
+            rooms=rng.integers(1, 6, n).astype(float),
+            city=rng.choice(["a", "b", "c"], n),
+            unused=rng.normal(size=n),
+        )
+        price = (table.array("sqft") * 120.0
+                 + table.array("rooms") * 9_000.0
+                 + np.where(table.array("city") == "a", 50_000.0, 0.0)
+                 + rng.normal(0, 5_000, n))
+        pipeline = make_standard_pipeline(
+            GradientBoostingRegressor(n_estimators=15, max_depth=3,
+                                      random_state=0),
+            ["sqft", "rooms", "unused"], ["city"])
+        pipeline.fit(table, price)
+        session = RavenSession()
+        session.register_table("houses", table, primary_key=["id"])
+        session.register_model("price_model", pipeline)
+        return session, table, pipeline
+
+    def test_regressor_prediction_query(self, regression_session):
+        session, table, pipeline = regression_session
+        query = ("SELECT d.id, p.price FROM PREDICT(MODEL = price_model, "
+                 "DATA = houses AS d) WITH (price FLOAT) AS p")
+        result = session.sql(query)
+        expected = pipeline.predict(table)
+        ordered = result.take(np.argsort(result.array("id")))
+        assert np.allclose(ordered.array("price"), expected, atol=1e-6)
+
+    def test_regressor_with_mltosql(self, regression_session):
+        session, table, pipeline = regression_session
+        sql_session = RavenSession(strategy="sql")
+        sql_session.catalog = session.catalog
+        query = ("SELECT d.id, p.price FROM PREDICT(MODEL = price_model, "
+                 "DATA = houses AS d) WITH (price FLOAT) AS p "
+                 "WHERE p.price > 250000")
+        reference = RavenSession(enable_optimizations=False)
+        reference.catalog = session.catalog
+        assert sql_session.sql(query).num_rows == \
+            reference.sql(query).num_rows
+
+    def test_unused_column_pruned_for_regressor(self, regression_session):
+        session, _table, _pipeline = regression_session
+        query = ("SELECT d.id, p.price FROM PREDICT(MODEL = price_model, "
+                 "DATA = houses AS d) WITH (price FLOAT) AS p")
+        no_transform = RavenSession(strategy="none")
+        no_transform.catalog = session.catalog
+        plan, report = no_transform.optimize(query)
+        info = report.rule_info.get("model_projection_pushdown", {})
+        assert "unused" in info.get("inputs_removed", [])
+
+
+class TestChainedModels:
+    """Queries may contain more than one predict operator (paper §5.2)."""
+
+    def test_model_over_model_outputs(self, rng):
+        n = 2_000
+        table = Table.from_arrays(
+            id=np.arange(n), x=rng.normal(size=n), z=rng.normal(size=n))
+        stage1_labels = (table.array("x") > 0).astype(int)
+        stage1 = make_standard_pipeline(
+            LogisticRegression(), ["x", "z"], [])
+        stage1.fit(table, stage1_labels)
+
+        # Stage 2 consumes stage 1's score as a feature.
+        score_feature = stage1.predict_proba(table)[:, 1]
+        frame2 = Table.from_arrays(score=score_feature, z=table.array("z"))
+        stage2_labels = ((score_feature > 0.6)
+                         & (table.array("z") > 0)).astype(int)
+        stage2 = make_standard_pipeline(
+            DecisionTreeClassifier(max_depth=4, random_state=0),
+            ["score", "z"], [])
+        stage2.fit(frame2, stage2_labels)
+
+        session = RavenSession(strategy="none", enable_data_induced=False)
+        session.register_table("t", table, primary_key=["id"])
+        session.register_model("m1", stage1)
+        session.register_model("m2", stage2)
+        # Data columns keep their source alias (d.*); predict outputs are
+        # qualified by each TVF's alias (d2.score, q.final).
+        query = """
+        SELECT d.id, q.final
+        FROM PREDICT(MODEL = m2,
+                     DATA = PREDICT(MODEL = m1, DATA = t AS d)
+                            WITH (score FLOAT) AS d2)
+             WITH (final FLOAT) AS q
+        WHERE q.final > 0.5
+        """
+        result = session.sql(query)
+        expected_scores = stage2.predict_proba(frame2)[:, 1]
+        assert result.num_rows == int((expected_scores > 0.5).sum())
+
+        reference = RavenSession(enable_optimizations=False)
+        reference.catalog = session.catalog
+        assert reference.sql(query).num_rows == result.num_rows
+
+
+class TestFallbackPaths:
+    def test_mltosql_unsupported_falls_back(self, rng):
+        # Multi-class tree: MLtoSQL must fail and the optimizer fall back.
+        n = 1_500
+        table = Table.from_arrays(id=np.arange(n), x=rng.normal(size=n),
+                                  z=rng.normal(size=n))
+        y = rng.integers(0, 3, n)
+        pipeline = make_standard_pipeline(
+            DecisionTreeClassifier(max_depth=3, random_state=0), ["x", "z"], [])
+        pipeline.fit(table, y)
+        session = RavenSession(strategy="sql")
+        session.register_table("t", table)
+        session.register_model("m", pipeline)
+        query = ("SELECT d.id, p.label FROM PREDICT(MODEL = m, "
+                 "DATA = t AS d) WITH (label INT) AS p")
+        plan, report = session.optimize(query)
+        assert any("unsupported" in choice
+                   for choice in report.strategy_choices)
+        result = session.sql(query)  # still executes via the ML runtime
+        assert result.num_rows == n
+
+    def test_multiclass_prediction_through_runtime(self, rng):
+        n = 900
+        table = Table.from_arrays(id=np.arange(n), x=rng.normal(size=n),
+                                  z=rng.normal(size=n))
+        y = np.choose(rng.integers(0, 3, n),
+                      np.asarray(["red", "green", "blue"]))
+        pipeline = make_standard_pipeline(
+            DecisionTreeClassifier(max_depth=4, random_state=0), ["x", "z"], [])
+        pipeline.fit(table, y)
+        session = RavenSession(strategy="none", enable_data_induced=False)
+        session.register_table("t", table)
+        session.register_model("m", pipeline)
+        result = session.sql(
+            "SELECT d.id, p.label FROM PREDICT(MODEL = m, DATA = t AS d) "
+            "WITH (label STRING) AS p WHERE p.label = 'red'")
+        expected = int((pipeline.predict(table) == "red").sum())
+        assert result.num_rows == expected

@@ -1,0 +1,230 @@
+"""Executor tests: every operator against naive Python reference
+implementations, including hypothesis property tests for joins/aggregates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExecutionError, PlanError
+from repro.relational import (
+    Aggregate,
+    AggregateSpec,
+    Executor,
+    Filter,
+    Join,
+    Limit,
+    Project,
+    Scan,
+    Sort,
+    col,
+    execute,
+    lit,
+)
+from repro.storage import Catalog, Table
+
+
+@pytest.fixture()
+def catalog():
+    catalog = Catalog()
+    catalog.add_table("t", Table.from_arrays(
+        id=np.asarray([1, 2, 3, 4]),
+        v=np.asarray([10.0, 20.0, 30.0, 40.0]),
+        s=np.asarray(["a", "b", "a", "c"]),
+    ), primary_key=["id"])
+    catalog.add_table("u", Table.from_arrays(
+        id=np.asarray([2, 3, 5]),
+        w=np.asarray([200.0, 300.0, 500.0]),
+    ), primary_key=["id"])
+    return catalog
+
+
+class TestScanFilterProject:
+    def test_scan_qualifies_names(self, catalog):
+        out = execute(Scan("t", "x"), catalog)
+        assert out.column_names == ["x.id", "x.v", "x.s"]
+
+    def test_scan_column_pruning(self, catalog):
+        out = execute(Scan("t", "x", ["v"]), catalog)
+        assert out.column_names == ["x.v"]
+
+    def test_filter(self, catalog):
+        plan = Filter(Scan("t"), col("t.v").gt(15.0))
+        assert execute(plan, catalog).num_rows == 3
+
+    def test_filter_requires_bool(self, catalog):
+        plan = Filter(Scan("t"), col("t.v") + lit(1.0))
+        with pytest.raises(ExecutionError):
+            execute(plan, catalog)
+
+    def test_project_expressions(self, catalog):
+        plan = Project(Scan("t"), [("double", col("t.v") * lit(2.0))])
+        assert execute(plan, catalog).array("double").tolist() == \
+            [20.0, 40.0, 60.0, 80.0]
+
+    def test_limit(self, catalog):
+        assert execute(Limit(Scan("t"), 2), catalog).num_rows == 2
+
+    def test_sort_asc_desc(self, catalog):
+        out = execute(Sort(Scan("t"), [("t.v", False)]), catalog)
+        assert out.array("t.v").tolist() == [40.0, 30.0, 20.0, 10.0]
+        out = execute(Sort(Scan("t"), [("t.s", True), ("t.v", False)]), catalog)
+        assert out.array("t.s").tolist() == ["a", "a", "b", "c"]
+        assert out.array("t.v").tolist() == [30.0, 10.0, 20.0, 40.0]
+
+
+class TestJoin:
+    def test_inner_join(self, catalog):
+        plan = Join(Scan("t"), Scan("u"), ["t.id"], ["u.id"])
+        out = execute(plan, catalog)
+        assert out.num_rows == 2
+        assert sorted(out.array("u.w").tolist()) == [200.0, 300.0]
+
+    def test_left_join_fills(self, catalog):
+        plan = Join(Scan("t"), Scan("u"), ["t.id"], ["u.id"], how="left")
+        out = execute(plan, catalog)
+        assert out.num_rows == 4
+        matched = out.mask(~np.isnan(out.array("u.w")))
+        assert matched.num_rows == 2
+
+    def test_join_duplicate_keys_produce_products(self, catalog):
+        catalog.add_table("d", Table.from_arrays(
+            k=np.asarray([1, 1, 2]), x=np.asarray([1.0, 2.0, 3.0])))
+        catalog.add_table("e", Table.from_arrays(
+            k=np.asarray([1, 1]), y=np.asarray([10.0, 20.0])))
+        plan = Join(Scan("d"), Scan("e"), ["d.k"], ["e.k"])
+        assert execute(plan, catalog).num_rows == 4
+
+    def test_string_keys(self, catalog):
+        catalog.add_table("s1", Table.from_arrays(k=np.asarray(["a", "b"]),
+                                                  x=np.asarray([1, 2])))
+        catalog.add_table("s2", Table.from_arrays(k=np.asarray(["b", "c"]),
+                                                  y=np.asarray([3, 4])))
+        plan = Join(Scan("s1"), Scan("s2"), ["s1.k"], ["s2.k"])
+        out = execute(plan, catalog)
+        assert out.num_rows == 1
+        assert out.array("s1.k")[0] == "b"
+
+    def test_multi_key_join(self, catalog):
+        catalog.add_table("m1", Table.from_arrays(
+            a=np.asarray([1, 1, 2]), b=np.asarray([1, 2, 1]),
+            x=np.asarray([1.0, 2.0, 3.0])))
+        catalog.add_table("m2", Table.from_arrays(
+            a=np.asarray([1, 2]), b=np.asarray([2, 1]),
+            y=np.asarray([10.0, 20.0])))
+        plan = Join(Scan("m1"), Scan("m2"), ["m1.a", "m1.b"], ["m2.a", "m2.b"])
+        out = execute(plan, catalog)
+        assert sorted(out.array("m2.y").tolist()) == [10.0, 20.0]
+
+    def test_name_collision_rejected(self, catalog):
+        plan = Join(Scan("t", "x"), Scan("u", "x"), ["x.id"], ["x.id"])
+        with pytest.raises(PlanError):
+            plan.output_schema(catalog)
+
+
+class TestAggregate:
+    def test_global(self, catalog):
+        plan = Aggregate(Scan("t"), [], [
+            AggregateSpec("n", "count"),
+            AggregateSpec("total", "sum", "t.v"),
+            AggregateSpec("mean", "avg", "t.v"),
+            AggregateSpec("lo", "min", "t.v"),
+            AggregateSpec("hi", "max", "t.v"),
+        ])
+        out = execute(plan, catalog)
+        assert out.num_rows == 1
+        assert out.array("n")[0] == 4
+        assert out.array("total")[0] == 100.0
+        assert out.array("mean")[0] == 25.0
+        assert out.array("lo")[0] == 10.0
+        assert out.array("hi")[0] == 40.0
+
+    def test_grouped(self, catalog):
+        plan = Aggregate(Scan("t"), ["t.s"], [
+            AggregateSpec("n", "count"),
+            AggregateSpec("total", "sum", "t.v"),
+        ])
+        out = execute(plan, catalog)
+        rows = {r["t.s"]: r for r in out.to_rows()}
+        assert rows["a"]["n"] == 2 and rows["a"]["total"] == 40.0
+        assert rows["b"]["n"] == 1 and rows["c"]["total"] == 40.0
+
+    def test_grouped_min_max(self, catalog):
+        plan = Aggregate(Scan("t"), ["t.s"], [
+            AggregateSpec("lo", "min", "t.v"),
+            AggregateSpec("hi", "max", "t.v"),
+        ])
+        rows = {r["t.s"]: r for r in execute(plan, catalog).to_rows()}
+        assert rows["a"] == {"t.s": "a", "lo": 10.0, "hi": 30.0}
+
+    def test_empty_input_global(self, catalog):
+        plan = Aggregate(Filter(Scan("t"), lit(False)), [],
+                         [AggregateSpec("n", "count")])
+        assert execute(plan, catalog).array("n")[0] == 0
+
+    def test_unknown_func_rejected(self):
+        with pytest.raises(PlanError):
+            AggregateSpec("x", "median", "v")
+
+    def test_sum_requires_column(self):
+        with pytest.raises(PlanError):
+            AggregateSpec("x", "sum")
+
+
+class TestPredictWithoutExecutor:
+    def test_error_without_runtime(self, catalog, dt_pipeline):
+        from repro.onnxlite import convert_pipeline
+        from repro.relational.logical import Predict
+        from repro.storage.column import DataType
+
+        graph = convert_pipeline(dt_pipeline)
+        catalog.add_model("m", graph)
+        plan = Predict(Scan("t"), "m", graph, {}, [("s", "score", DataType.FLOAT)])
+        with pytest.raises(ExecutionError):
+            execute(plan, catalog)
+
+
+# ---------------------------------------------------------------------------
+# Property tests against naive reference implementations
+# ---------------------------------------------------------------------------
+
+_keys = st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=40)
+
+
+@given(_keys, _keys)
+@settings(max_examples=50, deadline=None)
+def test_inner_join_matches_nested_loop(left_keys, right_keys):
+    catalog = Catalog()
+    catalog.add_table("l", Table.from_arrays(
+        k=np.asarray(left_keys), i=np.arange(len(left_keys))))
+    catalog.add_table("r", Table.from_arrays(
+        k=np.asarray(right_keys), j=np.arange(len(right_keys))))
+    out = execute(Join(Scan("l"), Scan("r"), ["l.k"], ["r.k"]), catalog)
+    expected = sorted((lk, i, j)
+                      for i, lk in enumerate(left_keys)
+                      for j, rk in enumerate(right_keys) if lk == rk)
+    got = sorted(zip(out.array("l.k").tolist(), out.array("l.i").tolist(),
+                     out.array("r.j").tolist()))
+    assert got == expected
+
+
+@given(st.lists(st.tuples(st.integers(0, 4),
+                          st.floats(-100, 100, allow_nan=False)),
+                min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_grouped_aggregate_matches_python(rows):
+    keys = np.asarray([k for k, _ in rows])
+    values = np.asarray([v for _, v in rows])
+    catalog = Catalog()
+    catalog.add_table("g", Table.from_arrays(k=keys, v=values))
+    plan = Aggregate(Scan("g"), ["g.k"], [
+        AggregateSpec("n", "count"), AggregateSpec("s", "sum", "g.v"),
+        AggregateSpec("lo", "min", "g.v"), AggregateSpec("hi", "max", "g.v"),
+    ])
+    out = execute(plan, catalog)
+    got = {r["g.k"]: r for r in out.to_rows()}
+    for key in set(keys.tolist()):
+        members = [v for k, v in rows if k == key]
+        assert got[key]["n"] == len(members)
+        assert np.isclose(got[key]["s"], sum(members))
+        assert got[key]["lo"] == min(members)
+        assert got[key]["hi"] == max(members)

@@ -1,0 +1,160 @@
+"""Unit tests for repro.storage.column."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchemaError
+from repro.storage.column import Column, DataType, concat_columns, infer_dtype
+
+
+class TestDataType:
+    def test_from_name_aliases(self):
+        assert DataType.from_name("FLOAT") is DataType.FLOAT
+        assert DataType.from_name("double") is DataType.FLOAT
+        assert DataType.from_name("bigint") is DataType.INT
+        assert DataType.from_name("varchar") is DataType.STRING
+        assert DataType.from_name("bit") is DataType.BOOL
+
+    def test_from_name_unknown(self):
+        with pytest.raises(SchemaError):
+            DataType.from_name("blob")
+
+    def test_is_numeric(self):
+        assert DataType.FLOAT.is_numeric
+        assert DataType.INT.is_numeric
+        assert not DataType.STRING.is_numeric
+        assert not DataType.BOOL.is_numeric
+
+
+class TestColumnConstruction:
+    def test_infer_float(self):
+        column = Column(np.asarray([1.0, 2.0]))
+        assert column.dtype is DataType.FLOAT
+        assert column.data.dtype == np.float64
+
+    def test_infer_int(self):
+        assert Column(np.asarray([1, 2])).dtype is DataType.INT
+
+    def test_infer_bool(self):
+        assert Column(np.asarray([True, False])).dtype is DataType.BOOL
+
+    def test_infer_string(self):
+        column = Column(np.asarray(["a", "bb"]))
+        assert column.dtype is DataType.STRING
+        assert column.data.dtype.kind == "U"
+
+    def test_object_array_coerced_to_string(self):
+        column = Column(np.asarray(["a", "bb"], dtype=object))
+        assert column.dtype is DataType.STRING
+
+    def test_rejects_2d(self):
+        with pytest.raises(SchemaError):
+            Column(np.zeros((2, 2)))
+
+    def test_explicit_cast_on_init(self):
+        column = Column(np.asarray([1, 2]), DataType.FLOAT)
+        assert column.data.dtype == np.float64
+
+    def test_named_constructors(self):
+        assert Column.floats([1, 2]).dtype is DataType.FLOAT
+        assert Column.ints([1.0, 2.0]).dtype is DataType.INT
+        assert Column.bools([1, 0]).dtype is DataType.BOOL
+        assert Column.strings(["x"]).dtype is DataType.STRING
+
+
+class TestColumnOps:
+    def test_take(self):
+        column = Column.floats([10.0, 20.0, 30.0])
+        taken = column.take(np.asarray([2, 0]))
+        assert taken.data.tolist() == [30.0, 10.0]
+
+    def test_mask(self):
+        column = Column.ints([1, 2, 3])
+        masked = column.mask(np.asarray([True, False, True]))
+        assert masked.data.tolist() == [1, 3]
+
+    def test_mask_requires_bool(self):
+        with pytest.raises(SchemaError):
+            Column.ints([1]).mask(np.asarray([1]))
+
+    def test_slice(self):
+        assert Column.ints([1, 2, 3, 4]).slice(1, 3).data.tolist() == [2, 3]
+
+    def test_cast_int_to_float(self):
+        assert Column.ints([1, 2]).cast(DataType.FLOAT).data.dtype == np.float64
+
+    def test_cast_to_string(self):
+        column = Column.ints([1, 2]).cast(DataType.STRING)
+        assert column.data.tolist() == ["1", "2"]
+
+    def test_cast_string_to_float(self):
+        column = Column.strings(["1.5", "2.0"]).cast(DataType.FLOAT)
+        assert column.data.tolist() == [1.5, 2.0]
+
+    def test_cast_string_to_bool_rejected(self):
+        with pytest.raises(SchemaError):
+            Column.strings(["true"]).cast(DataType.BOOL)
+
+    def test_cast_same_type_is_identity(self):
+        column = Column.floats([1.0])
+        assert column.cast(DataType.FLOAT) is column
+
+    def test_concat(self):
+        merged = Column.ints([1]).concat(Column.ints([2]))
+        assert merged.data.tolist() == [1, 2]
+
+    def test_concat_type_mismatch(self):
+        with pytest.raises(SchemaError):
+            Column.ints([1]).concat(Column.floats([2.0]))
+
+    def test_equality(self):
+        assert Column.ints([1, 2]) == Column.ints([1, 2])
+        assert Column.ints([1, 2]) != Column.ints([2, 1])
+        assert Column.ints([1]) != Column.floats([1.0])
+
+    def test_nbytes_positive(self):
+        assert Column.floats([1.0, 2.0]).nbytes() == 16
+
+    def test_repr_contains_type(self):
+        assert "int" in repr(Column.ints([1]))
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(Column.ints([1]))
+
+
+class TestConcatColumns:
+    def test_multi(self):
+        merged = concat_columns([Column.ints([1]), Column.ints([2, 3])])
+        assert merged.data.tolist() == [1, 2, 3]
+
+    def test_single_passthrough(self):
+        column = Column.ints([1])
+        assert concat_columns([column]) is column
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            concat_columns([])
+
+    def test_heterogeneous_rejected(self):
+        with pytest.raises(SchemaError):
+            concat_columns([Column.ints([1]), Column.strings(["a"])])
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                          width=32), min_size=1, max_size=50))
+def test_take_then_mask_roundtrip(values):
+    """take(arange) and mask(all-True) are identities."""
+    column = Column.floats(values)
+    n = len(column)
+    assert column.take(np.arange(n)) == column
+    assert column.mask(np.ones(n, dtype=bool)) == column
+
+
+@given(st.lists(st.text(alphabet="abcdef", min_size=0, max_size=8),
+                min_size=1, max_size=30))
+def test_string_column_preserves_values(values):
+    """Unicode width must never truncate stored strings."""
+    column = Column.strings(values)
+    assert [str(v) for v in column.data] == values

@@ -1,0 +1,141 @@
+"""Unit tests for repro.storage.table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.column import Column, DataType
+from repro.storage.table import Schema, Table, concat_tables
+
+
+class TestSchema:
+    def test_names_and_types(self):
+        schema = Schema([("a", DataType.INT), ("b", DataType.STRING)])
+        assert schema.names == ["a", "b"]
+        assert schema.types == [DataType.INT, DataType.STRING]
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([("a", DataType.INT), ("a", DataType.INT)])
+
+    def test_dtype_of(self):
+        schema = Schema([("a", DataType.INT)])
+        assert schema.dtype_of("a") is DataType.INT
+        with pytest.raises(SchemaError):
+            schema.dtype_of("missing")
+
+    def test_contains_and_len(self):
+        schema = Schema([("a", DataType.INT)])
+        assert "a" in schema
+        assert "b" not in schema
+        assert len(schema) == 1
+
+    def test_select_and_rename(self):
+        schema = Schema([("a", DataType.INT), ("b", DataType.FLOAT)])
+        assert schema.select(["b"]).names == ["b"]
+        assert schema.rename({"a": "x"}).names == ["x", "b"]
+
+    def test_equality(self):
+        assert Schema([("a", DataType.INT)]) == Schema([("a", DataType.INT)])
+        assert Schema([("a", DataType.INT)]) != Schema([("a", DataType.FLOAT)])
+
+
+class TestTable:
+    def test_from_arrays(self):
+        table = Table.from_arrays(a=np.asarray([1, 2]), b=np.asarray([1.0, 2.0]))
+        assert table.num_rows == 2
+        assert table.num_columns == 2
+        assert table.schema.dtype_of("a") is DataType.INT
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Table({"a": Column.ints([1]), "b": Column.ints([1, 2])})
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Table([("a", Column.ints([1])), ("a", Column.ints([2]))])
+
+    def test_unknown_column_raises(self):
+        table = Table.from_arrays(a=np.asarray([1]))
+        with pytest.raises(SchemaError):
+            table.column("b")
+
+    def test_select_preserves_order(self):
+        table = Table.from_arrays(a=np.asarray([1]), b=np.asarray([2]),
+                                  c=np.asarray([3]))
+        assert table.select(["c", "a"]).column_names == ["c", "a"]
+
+    def test_rename(self):
+        table = Table.from_arrays(a=np.asarray([1]))
+        assert table.rename({"a": "x"}).column_names == ["x"]
+
+    def test_with_column_replaces(self):
+        table = Table.from_arrays(a=np.asarray([1, 2]))
+        updated = table.with_column("a", Column.ints([5, 6]))
+        assert updated.array("a").tolist() == [5, 6]
+
+    def test_with_column_length_check(self):
+        table = Table.from_arrays(a=np.asarray([1, 2]))
+        with pytest.raises(SchemaError):
+            table.with_column("b", Column.ints([1]))
+
+    def test_drop(self):
+        table = Table.from_arrays(a=np.asarray([1]), b=np.asarray([2]))
+        assert table.drop(["a"]).column_names == ["b"]
+
+    def test_take_mask_slice(self):
+        table = Table.from_arrays(a=np.asarray([10, 20, 30]))
+        assert table.take(np.asarray([2, 0])).array("a").tolist() == [30, 10]
+        assert table.mask(np.asarray([True, False, True])).num_rows == 2
+        assert table.slice(1, 2).array("a").tolist() == [20]
+
+    def test_prefix(self):
+        table = Table.from_arrays(a=np.asarray([1]))
+        assert table.prefix("t").column_names == ["t.a"]
+
+    def test_row_access(self):
+        table = Table.from_arrays(a=np.asarray([1, 2]), s=np.asarray(["x", "y"]))
+        assert table.row(1) == {"a": 2, "s": "y"}
+        assert len(table.to_rows()) == 2
+
+    def test_head(self):
+        table = Table.from_arrays(a=np.arange(10))
+        assert table.head(3).num_rows == 3
+
+    def test_equality(self):
+        a = Table.from_arrays(x=np.asarray([1, 2]))
+        b = Table.from_arrays(x=np.asarray([1, 2]))
+        assert a == b
+        assert a != Table.from_arrays(x=np.asarray([2, 1]))
+
+    def test_empty_from_schema(self):
+        schema = Schema([("a", DataType.FLOAT), ("s", DataType.STRING)])
+        table = Table.empty(schema)
+        assert table.num_rows == 0
+        assert table.schema == schema
+
+    def test_nbytes(self):
+        table = Table.from_arrays(a=np.zeros(4))
+        assert table.nbytes() == 32
+
+
+class TestConcatTables:
+    def test_basic(self):
+        a = Table.from_arrays(x=np.asarray([1]))
+        b = Table.from_arrays(x=np.asarray([2, 3]))
+        merged = concat_tables([a, b])
+        assert merged.array("x").tolist() == [1, 2, 3]
+
+    def test_single_passthrough(self):
+        a = Table.from_arrays(x=np.asarray([1]))
+        assert concat_tables([a]) is a
+
+    def test_schema_mismatch(self):
+        a = Table.from_arrays(x=np.asarray([1]))
+        b = Table.from_arrays(y=np.asarray([2]))
+        with pytest.raises(SchemaError):
+            concat_tables([a, b])
+
+    def test_empty_list(self):
+        with pytest.raises(SchemaError):
+            concat_tables([])

@@ -1,0 +1,199 @@
+"""Tests for the tensor compiler, tree strategies, and device simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UnsupportedOperatorError
+from repro.learn import (
+    DecisionTreeClassifier,
+    GradientBoostingClassifier,
+    LogisticRegression,
+    RandomForestClassifier,
+    make_standard_pipeline,
+)
+from repro.onnxlite import Graph, Node, TensorInfo, convert_model, convert_pipeline, run_graph
+from repro.tensor import (
+    CpuDevice,
+    GEMM_WORK_LIMIT,
+    K80,
+    SimulatedGpuDevice,
+    TensorRuntime,
+    V100,
+    choose_tree_strategy,
+    compile_graph,
+    cpu_runtime,
+    gpu_runtime,
+)
+from repro.tensor.device import measured_host_flops
+from repro.storage import Table
+
+
+@pytest.fixture(scope="module")
+def sample():
+    rng = np.random.default_rng(3)
+    n = 3_000
+    table = Table.from_arrays(
+        a=rng.normal(size=n), b=rng.normal(size=n),
+        c=rng.choice(["p", "q", "r"], n))
+    y = ((table.array("a") > 0) | (table.array("c") == "p")).astype(int)
+    return table, y
+
+
+def _pipeline_graph(sample, model):
+    table, y = sample
+    pipeline = make_standard_pipeline(model, ["a", "b"], ["c"])
+    pipeline.fit(table.head(1500), y[:1500])
+    return convert_pipeline(pipeline), {
+        k: table.array(k) for k in ("a", "b", "c")}
+
+
+class TestCompilationEquivalence:
+    @pytest.mark.parametrize("strategy", ["gemm", "traversal"])
+    @pytest.mark.parametrize("model_factory", [
+        lambda: DecisionTreeClassifier(max_depth=6, random_state=0),
+        lambda: RandomForestClassifier(n_estimators=6, max_depth=4,
+                                       random_state=0),
+        lambda: GradientBoostingClassifier(n_estimators=10, max_depth=3,
+                                           random_state=0),
+    ])
+    def test_tree_models_match_runtime(self, sample, strategy, model_factory):
+        graph, inputs = _pipeline_graph(sample, model_factory())
+        reference = run_graph(graph, inputs)
+        program = compile_graph(graph, tree_strategy=strategy)
+        result = CpuDevice().run(program, inputs)
+        assert np.allclose(result.outputs["score"][:, 0],
+                           reference["score"][:, 0], atol=1e-9)
+        assert np.array_equal(result.outputs["label"], reference["label"])
+
+    def test_linear_model_matches_runtime(self, sample):
+        graph, inputs = _pipeline_graph(sample, LogisticRegression())
+        reference = run_graph(graph, inputs)
+        result = cpu_runtime().run(graph, inputs)
+        assert np.allclose(result.outputs["score"][:, 0],
+                           reference["score"][:, 0], atol=1e-12)
+
+    def test_featurizer_only_graph(self):
+        graph = Graph("g", [TensorInfo("x")], ["out"])
+        graph.add_node(Node("Scaler", ["x"], ["out"],
+                            {"offset": np.asarray([2.0]),
+                             "scale": np.asarray([0.5])}))
+        program = compile_graph(graph)
+        result = CpuDevice().run(program, {"x": np.asarray([4.0])})
+        assert result.outputs["out"].tolist() == [[1.0]]
+
+    def test_unsupported_op_raises(self):
+        graph = Graph("g", [TensorInfo("x")], ["out"])
+        graph.add_node(Node("LabelEncoder", ["x"], ["out"],
+                            {"keys": np.asarray(["a"]),
+                             "values": np.asarray([1.0])}))
+        with pytest.raises(UnsupportedOperatorError):
+            compile_graph(graph)
+
+    def test_constant_and_extractor_compile(self):
+        graph = Graph("g", [TensorInfo("x", "float", 1)], ["out"])
+        graph.add_node(Node("Constant", [], ["c"],
+                            {"value": np.asarray([1.0, 2.0, 3.0])}))
+        graph.add_node(Node("Concat", ["x", "c"], ["all"]))
+        graph.add_node(Node("FeatureExtractor", ["all"], ["out"],
+                            {"indices": [0, 2]}))
+        program = compile_graph(graph)
+        result = CpuDevice().run(program, {"x": np.asarray([9.0])})
+        assert result.outputs["out"].tolist() == [[9.0, 2.0]]
+
+
+class TestStrategySelection:
+    def test_small_tree_prefers_gemm(self, sample):
+        table, y = sample
+        model = DecisionTreeClassifier(max_depth=3, random_state=0)
+        model.fit(np.column_stack([table.array("a"), table.array("b")]), y)
+        assert choose_tree_strategy([model.tree_]) == "gemm"
+
+    def test_large_ensemble_prefers_traversal(self, sample):
+        table, y = sample
+        X = np.column_stack([table.array("a"), table.array("b")])
+        model = GradientBoostingClassifier(n_estimators=120, max_depth=6,
+                                           random_state=0).fit(X[:800], y[:800])
+        assert choose_tree_strategy(model.trees()) == "traversal"
+
+    def test_work_limit_is_finite(self):
+        assert 0 < GEMM_WORK_LIMIT < 10 ** 9
+
+
+class TestDeviceModel:
+    def test_cpu_reports_measured_time(self, sample):
+        graph, inputs = _pipeline_graph(
+            sample, DecisionTreeClassifier(max_depth=4, random_state=0))
+        result = cpu_runtime().run(graph, inputs)
+        assert not result.simulated
+        assert result.seconds > 0
+
+    def test_gpu_reports_modeled_time(self, sample):
+        graph, inputs = _pipeline_graph(
+            sample, DecisionTreeClassifier(max_depth=4, random_state=0))
+        result = gpu_runtime().run(graph, inputs)
+        assert result.simulated
+        assert result.seconds > K80.init_seconds  # includes fixed overheads
+
+    def test_gpu_outputs_identical_to_cpu(self, sample):
+        graph, inputs = _pipeline_graph(
+            sample, GradientBoostingClassifier(n_estimators=8, max_depth=3,
+                                               random_state=0))
+        cpu_out = cpu_runtime().run(graph, inputs).outputs
+        gpu_out = gpu_runtime().run(graph, inputs).outputs
+        assert np.allclose(cpu_out["score"], gpu_out["score"])
+
+    def test_bigger_model_costs_more_gpu_time(self, sample):
+        table, y = sample
+        X = np.column_stack([table.array("a"), table.array("b")])
+        small = GradientBoostingClassifier(n_estimators=5, max_depth=3,
+                                           random_state=0).fit(X[:500], y[:500])
+        large = GradientBoostingClassifier(n_estimators=60, max_depth=6,
+                                           random_state=0).fit(X[:500], y[:500])
+        inputs = {"features": np.repeat(X, 20, axis=0)}
+        gpu = gpu_runtime()
+        t_small = gpu.run(convert_model(small, 2), inputs).seconds
+        t_large = gpu.run(convert_model(large, 2), inputs).seconds
+        assert t_large > t_small
+
+    def test_v100_faster_than_k80(self, sample):
+        graph, inputs = _pipeline_graph(
+            sample, GradientBoostingClassifier(n_estimators=30, max_depth=5,
+                                               random_state=0))
+        k80 = TensorRuntime(SimulatedGpuDevice(K80)).run(graph, inputs).seconds
+        v100 = TensorRuntime(SimulatedGpuDevice(V100)).run(graph, inputs).seconds
+        assert v100 < k80
+
+    def test_host_flops_measured_once(self):
+        first = measured_host_flops()
+        second = measured_host_flops()
+        assert first == second > 0
+
+    def test_program_cache_reused(self, sample):
+        graph, inputs = _pipeline_graph(
+            sample, DecisionTreeClassifier(max_depth=3, random_state=0))
+        runtime = cpu_runtime()
+        assert runtime.compile(graph) is runtime.compile(graph)
+
+    def test_program_cost_positive(self, sample):
+        graph, _ = _pipeline_graph(
+            sample, DecisionTreeClassifier(max_depth=4, random_state=0))
+        program = compile_graph(graph)
+        cost = program.total_cost(10_000)
+        assert cost.flops > 0 and cost.bytes_moved > 0
+
+
+@given(st.integers(0, 3000), st.integers(1, 6))
+@settings(max_examples=20, deadline=None)
+def test_gemm_equals_traversal_on_random_trees(seed, depth):
+    """Property: both tree strategies agree with each other exactly."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(200, 4))
+    y = (X[:, 0] * X[:, 1] > 0).astype(int)
+    model = DecisionTreeClassifier(max_depth=depth, random_state=seed).fit(X, y)
+    graph = convert_model(model, 4)
+    inputs = {"features": rng.normal(size=(100, 4))}
+    gemm = CpuDevice().run(compile_graph(graph, "gemm"), inputs).outputs
+    traversal = CpuDevice().run(compile_graph(graph, "traversal"), inputs).outputs
+    assert np.allclose(gemm["score"], traversal["score"])
+    assert np.array_equal(gemm["label"], traversal["label"])
