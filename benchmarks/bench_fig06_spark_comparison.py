@@ -4,7 +4,6 @@ Paper: Raven 1.4-13.1x over Raven(no-opt); up to 48x over SparkML and
 2.15-25.3x over Spark+SKL, across 4 datasets x {LR, DT, GB}.
 """
 
-import numpy as np
 
 from benchmarks._util import run_report
 from repro.bench import reports

@@ -6,7 +6,6 @@ the two tensor strategies — plus the relational primitives (scan, join)
 underneath every prediction query.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench.workloads import build_workload, load_dataset

@@ -7,7 +7,6 @@ and shows how each routes different pipelines to {none, MLtoSQL, MLtoDNN}.
 Run with: ``python examples/runtime_selection.py``
 """
 
-import numpy as np
 
 from repro.bench.reports import corpus_measurements
 from repro.core.strategies import (

@@ -24,6 +24,7 @@ paper-versus-measured experiment index.
 from repro.core.optimizer import OptimizationReport, RavenOptimizer
 from repro.core.session import RavenSession, RunStats
 from repro.errors import RavenError
+from repro.serving import MicroBatcher, PlanCache
 from repro.storage.catalog import Catalog
 from repro.storage.partition import PartitionedTable
 from repro.storage.table import Schema, Table
@@ -31,7 +32,7 @@ from repro.storage.table import Schema, Table
 __version__ = "0.1.0"
 
 __all__ = [
-    "Catalog", "OptimizationReport", "PartitionedTable", "RavenError",
-    "RavenOptimizer", "RavenSession", "RunStats", "Schema", "Table",
-    "__version__",
+    "Catalog", "MicroBatcher", "OptimizationReport", "PartitionedTable",
+    "PlanCache", "RavenError", "RavenOptimizer", "RavenSession", "RunStats",
+    "Schema", "Table", "__version__",
 ]

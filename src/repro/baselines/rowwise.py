@@ -10,7 +10,7 @@ slowest system on the paper's single-table workloads (Fig. 6).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -25,11 +25,9 @@ from repro.bench.harness import ReportTable, scaled, timed, timed_session_query
 from repro.bench.workloads import (
     BASE_ROWS,
     FIG6_MODELS,
-    TRAIN_ROWS,
     Workload,
     build_workload,
     load_dataset,
-    make_model,
 )
 from repro.core.rules.ml_to_sql import graph_to_expressions
 from repro.core.session import RavenSession
@@ -46,7 +44,6 @@ from repro.datasets import expedia, flights, generate_corpus
 from repro.datasets.corpus import CorpusEntry
 from repro.errors import UnsupportedOperatorError
 from repro.ir.stats import corpus_fig1_summary
-from repro.learn.ensemble import RandomForestClassifier
 from repro.onnxlite.runtime import InferenceSession
 from repro.relational.logical import find_predict_nodes
 from repro.tensor.runtime import gpu_runtime

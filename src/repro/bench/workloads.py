@@ -8,9 +8,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import Optional, Tuple
 
-import numpy as np
 
 from repro.bench.harness import scaled
 from repro.core.session import RavenSession

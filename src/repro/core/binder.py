@@ -12,7 +12,7 @@ Responsibilities:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CatalogError, PlanError
 from repro.core.parser import (

@@ -14,7 +14,10 @@ callers can adjust end-to-end wall-clock numbers (``gpu_time_adjustment``).
 
 from __future__ import annotations
 
+import copy
+import threading
 import time
+from collections import OrderedDict
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -24,7 +27,11 @@ from repro.onnxlite.graph import Graph
 from repro.onnxlite.runtime import InferenceSession
 from repro.relational.executor import Executor
 from repro.relational.logical import PlanNode, Predict, PredictMode, Scan, walk
-from repro.relational.parallel import ParallelExecutor, split_serial_tail
+from repro.relational.parallel import (
+    ParallelExecutor,
+    chunk_ranges,
+    split_serial_tail,
+)
 from repro.storage.catalog import Catalog
 from repro.storage.column import Column, DataType
 from repro.storage.table import Table, concat_tables
@@ -32,6 +39,10 @@ from repro.tensor.device import CpuDevice, K80, SimulatedGpuDevice
 from repro.tensor.runtime import TensorRuntime
 
 DEFAULT_BATCH_SIZE = 10_000
+# Bound on cached per-model inference sessions: long-lived serving
+# sessions that churn models (replace=True) must not pin every graph
+# they ever executed. Eviction only costs a re-initialization later.
+MAX_CACHED_SESSIONS = 64
 
 
 class PredictRuntime:
@@ -39,13 +50,28 @@ class PredictRuntime:
 
     def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE, gpu_spec=K80):
         self.batch_size = batch_size
-        self._sessions: Dict[int, InferenceSession] = {}
+        self._sessions: "OrderedDict[int, InferenceSession]" = OrderedDict()
+        self._sessions_lock = threading.Lock()
         self._tensor_cpu = TensorRuntime(CpuDevice())
         self._tensor_gpu = TensorRuntime(SimulatedGpuDevice(gpu_spec))
         # Accumulated (modeled - measured) seconds for simulated devices.
         self.gpu_time_adjustment = 0.0
         # Partition index installed by per-partition execution (None = global).
         self.active_partition: Optional[int] = None
+
+    def for_call(self) -> "PredictRuntime":
+        """A per-call view of this runtime for concurrent execution.
+
+        The clone *shares* the expensive caches — per-model inference
+        sessions and the tensor runtimes' compiled programs — but gets its
+        own mutable per-call state (``active_partition``, accumulated GPU
+        time adjustment), so concurrent ``RavenSession.sql()`` calls never
+        observe each other's partition dispatch or timing.
+        """
+        clone = copy.copy(self)
+        clone.gpu_time_adjustment = 0.0
+        clone.active_partition = None
+        return clone
 
     # ------------------------------------------------------------------
     def __call__(self, node: Predict, table: Table) -> Table:
@@ -55,7 +81,7 @@ class PredictRuntime:
         wanted = [graph_output for _, graph_output, _ in node.output_columns]
 
         if node.mode is PredictMode.ML_RUNTIME:
-            outputs = self._run_ml_runtime(graph, inputs, wanted, table.num_rows)
+            outputs = self.run_graph_batched(graph, inputs, wanted, table.num_rows)
         elif node.mode is PredictMode.DNN_CPU:
             outputs = self._run_tensor(self._tensor_cpu, graph, inputs, wanted)
         elif node.mode is PredictMode.DNN_GPU:
@@ -74,21 +100,45 @@ class PredictRuntime:
             return node.per_partition_graphs[self.active_partition]
         return node.graph
 
-    def _session_for(self, graph: Graph) -> InferenceSession:
-        key = id(graph)
-        if key not in self._sessions:
-            self._sessions[key] = InferenceSession(graph)
-        return self._sessions[key]
+    def session_for(self, graph: Graph) -> InferenceSession:
+        """The cached inference session for a graph (shared across threads).
 
-    def _run_ml_runtime(self, graph: Graph, inputs: Dict[str, np.ndarray],
-                        wanted: List[str], num_rows: int) -> Dict[str, np.ndarray]:
-        """Batched evaluation, like Spark's vectorized UDF (10k-row batches)."""
-        session = self._session_for(graph)
+        LRU-bounded by :data:`MAX_CACHED_SESSIONS`. Keyed by ``id(graph)``,
+        which is safe because the cached :class:`InferenceSession` holds a
+        reference to its graph — an id can only be recycled after its entry
+        is gone. Initialization happens outside the lock; a concurrent
+        first call for the same graph keeps the winner's session.
+        """
+        key = id(graph)
+        with self._sessions_lock:
+            session = self._sessions.get(key)
+            if session is not None:
+                self._sessions.move_to_end(key)
+                return session
+        session = InferenceSession(graph)
+        with self._sessions_lock:
+            existing = self._sessions.get(key)
+            if existing is not None:
+                return existing
+            self._sessions[key] = session
+            while len(self._sessions) > MAX_CACHED_SESSIONS:
+                self._sessions.popitem(last=False)
+        return session
+
+    def run_graph_batched(self, graph: Graph, inputs: Dict[str, np.ndarray],
+                          wanted: List[str], num_rows: int
+                          ) -> Dict[str, np.ndarray]:
+        """Batched evaluation, like Spark's vectorized UDF (10k-row batches).
+
+        Also the execution path of the serving micro-batcher, which stacks
+        coalesced requests and calls this once.
+        """
+        session = self.session_for(graph)
         if num_rows <= self.batch_size:
             return session.run(inputs, wanted)
         pieces: Dict[str, List[np.ndarray]] = {name: [] for name in wanted}
-        for start in range(0, num_rows, self.batch_size):
-            stop = min(start + self.batch_size, num_rows)
+        n_chunks = -(-num_rows // self.batch_size)
+        for start, stop in chunk_ranges(num_rows, n_chunks):
             batch = {name: array[start:stop] for name, array in inputs.items()}
             result = session.run(batch, wanted)
             for name in wanted:
@@ -190,9 +240,9 @@ class QueryExecutor:
             pieces.append(executor.execute(body))
             self.runtime.active_partition = None
         result = concat_tables(pieces)
-        from repro.relational.parallel import _apply_tail
+        from repro.relational.parallel import apply_tail
         for op in reversed(tail):
-            result = _apply_tail(op, result, self.catalog, self.runtime)
+            result = apply_tail(op, result, self.catalog, self.runtime)
         return result
 
     def _source_table(self, predict: Predict) -> str:

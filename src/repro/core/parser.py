@@ -33,7 +33,7 @@ from repro.relational.expressions import (
     Literal,
     UnaryOp,
 )
-from repro.core.tokens import Token, TokenStream
+from repro.core.tokens import TokenStream
 from repro.storage.column import DataType
 
 AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max")

@@ -15,11 +15,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import GraphError
 from repro.learn.tree import TreeNode
 from repro.onnxlite.graph import Graph, Node
 from repro.onnxlite.ops import infer_edge_info

@@ -41,7 +41,6 @@ from repro.relational.expressions import (
 )
 from repro.relational.logical import Filter, PlanNode, Predict, walk
 from repro.storage.catalog import Catalog
-from repro.storage.column import DataType
 from repro.onnxlite.graph import Graph, Node
 
 

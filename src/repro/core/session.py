@@ -15,15 +15,24 @@ Wraps catalog + parser + optimizer + executor:
         WHERE d.asthma = 1
     \"\"\")
 
-``session.last_run`` carries timing for benchmarks, including the modeled
-time adjustment for simulated-GPU execution.
+Per-call timing is returned by :meth:`RavenSession.sql_with_stats` (and
+mirrored into ``session.last_run`` as a best-effort alias for serial
+callers), including the modeled time adjustment for simulated-GPU
+execution.
+
+Serving: sessions are safe for concurrent ``sql()`` calls, keep a
+normalized plan cache so repeated queries skip parse/bind/optimize
+(see :mod:`repro.serving`), and expose :meth:`RavenSession.serve` to
+dispatch a batch of queries over a thread pool.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.binder import Binder
 from repro.core.executor import DEFAULT_BATCH_SIZE, PredictRuntime, QueryExecutor
@@ -38,6 +47,8 @@ from repro.onnxlite.serialize import load_graph
 from repro.relational.logical import PlanNode
 from repro.relational.optimizer import RelationalOptimizer
 from repro.relational.sqlgen import plan_to_sql
+from repro.serving.normalize import normalize_query, query_dependencies
+from repro.serving.plan_cache import CachedPlan, PlanCache, dependency_versions
 from repro.storage.catalog import Catalog
 from repro.storage.partition import PartitionedTable
 from repro.storage.table import Table
@@ -46,12 +57,18 @@ from repro.tensor.device import K80
 
 @dataclass
 class RunStats:
-    """Timing of the last executed query."""
+    """Timing of one executed query.
+
+    Returned per-call by :meth:`RavenSession.sql_with_stats` so concurrent
+    callers each see their own numbers; ``session.last_run`` holds the most
+    recently finished call's stats as a best-effort alias.
+    """
 
     wall_seconds: float
     gpu_adjustment_seconds: float = 0.0
     optimize_seconds: float = 0.0
     report: Optional[OptimizationReport] = None
+    cache_hit: bool = False
 
     @property
     def adjusted_seconds(self) -> float:
@@ -71,7 +88,8 @@ class RavenSession:
                  gpu_available: bool = False,
                  gpu_spec=K80,
                  dop: int = 1,
-                 batch_size: int = DEFAULT_BATCH_SIZE):
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 plan_cache: Union[PlanCache, bool] = True):
         self.catalog = Catalog()
         self.enable_cross = enable_optimizations if enable_cross is None \
             else enable_cross
@@ -83,6 +101,16 @@ class RavenSession:
         self.dop = dop
         self.runtime = PredictRuntime(batch_size=batch_size, gpu_spec=gpu_spec)
         self.last_run: Optional[RunStats] = None
+        # Normalized plan cache (on by default): repeated queries skip
+        # parse/bind/optimize. Pass a PlanCache to control capacity, or
+        # False to disable. Invalidation is wired to catalog mutations.
+        if isinstance(plan_cache, PlanCache):
+            self.plan_cache: Optional[PlanCache] = plan_cache
+        else:
+            self.plan_cache = PlanCache() if plan_cache else None
+        if self.plan_cache is not None:
+            self.plan_cache.attach(self.catalog)
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Registration
@@ -135,12 +163,45 @@ class RavenSession:
 
     def optimize(self, query: str):
         """Parse, bind and optimize; returns (plan, report)."""
-        bound = self.plan(query)
+        return self._optimize_stmt(parse(query))
+
+    def _optimize_stmt(self, stmt):
+        bound = Binder(self.catalog).bind(stmt)
         if not self.enable_optimizations and self.strategy in (None, "none"):
             # Raven (no-opt): only the host engine's own passes run.
             plan = RelationalOptimizer(self.catalog).optimize(bound)
             return plan, OptimizationReport()
         return self._optimizer().optimize(bound)
+
+    def _plan_for(self, query: str):
+        """Resolve a query to (plan, report, cache_hit) through the cache.
+
+        On a miss the dependency versions are captured *before* optimizing:
+        if a concurrent registration lands mid-optimization, the inserted
+        entry's recorded versions no longer match the live catalog and the
+        next lookup discards it instead of serving a stale plan.
+        """
+        if self.plan_cache is None:
+            plan, report = self.optimize(query)
+            return plan, report, False
+        normalized = normalize_query(query)
+        entry = self.plan_cache.get(normalized.key, self.catalog)
+        if entry is not None:
+            return entry.plan, entry.report, True
+        stmt = parse(query)
+        deps = query_dependencies(stmt)
+        versions = dependency_versions(self.catalog, deps.tables, deps.models)
+        plan, report = self._optimize_stmt(stmt)
+        self.plan_cache.put(normalized.key, CachedPlan(
+            template=normalized.template,
+            params=normalized.params,
+            plan=plan,
+            report=report,
+            tables=deps.tables,
+            models=deps.models,
+            versions=versions,
+        ))
+        return plan, report, False
 
     def explain(self, query: str) -> str:
         """Optimized plan rendering plus the optimizer's report."""
@@ -157,11 +218,44 @@ class RavenSession:
     # Execution
     # ------------------------------------------------------------------
     def sql(self, query: str) -> Table:
-        """Optimize and execute a query; timing lands in ``last_run``."""
+        """Optimize (or fetch from the plan cache) and execute a query."""
+        return self.sql_with_stats(query)[0]
+
+    def sql_with_stats(self, query: str) -> Tuple[Table, RunStats]:
+        """Like :meth:`sql` but also returns this call's :class:`RunStats`.
+
+        Safe for concurrent use: stats are computed per call, never read
+        back from shared session state. On a plan-cache hit
+        ``stats.optimize_seconds`` is just the normalize+lookup time.
+        """
         optimize_started = time.perf_counter()
-        plan, report = self.optimize(query)
+        plan, report, cache_hit = self._plan_for(query)
         optimize_seconds = time.perf_counter() - optimize_started
-        return self._execute(plan, report, optimize_seconds)
+        return self._execute(plan, report, optimize_seconds,
+                             cache_hit=cache_hit)
+
+    def serve(self, queries: Iterable[str], workers: int = 4) -> List[Table]:
+        """Execute a batch of queries concurrently; results keep order.
+
+        Dispatches over a thread pool (numpy kernels release the GIL, so
+        vectorized work overlaps); each call still goes through the plan
+        cache, and large scans additionally chunk-parallelize inside a
+        worker when the session's ``dop`` > 1 (via
+        :class:`repro.relational.parallel.ParallelExecutor`).
+        """
+        return [table for table, _ in
+                self.serve_with_stats(queries, workers=workers)]
+
+    def serve_with_stats(self, queries: Iterable[str], workers: int = 4
+                         ) -> List[Tuple[Table, RunStats]]:
+        """:meth:`serve`, returning ``(table, stats)`` per query in order."""
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        queries = list(queries)
+        if workers == 1 or len(queries) <= 1:
+            return [self.sql_with_stats(query) for query in queries]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(self.sql_with_stats, queries))
 
     def prepare(self, query: str) -> "PreparedQuery":
         """Optimize once, execute many times (offline optimization, §7.4).
@@ -177,23 +271,30 @@ class RavenSession:
 
     def execute_plan(self, plan: PlanNode) -> Table:
         """Execute an already-optimized plan."""
-        return self._execute(plan, None, 0.0)
+        return self._execute(plan, None, 0.0)[0]
 
     def _execute(self, plan: PlanNode, report: Optional[OptimizationReport],
-                 optimize_seconds: float) -> Table:
-        executor = QueryExecutor(self.catalog, self.runtime, dop=self.dop)
-        adjustment_before = self.runtime.gpu_time_adjustment
+                 optimize_seconds: float, cache_hit: bool = False
+                 ) -> Tuple[Table, RunStats]:
+        # Per-call runtime view: shares the inference-session and compiled-
+        # program caches but keeps partition dispatch and GPU-time
+        # accounting local, so concurrent calls never interleave state.
+        runtime = self.runtime.for_call()
+        executor = QueryExecutor(self.catalog, runtime, dop=self.dop)
         started = time.perf_counter()
         result = executor.execute(plan)
         wall = time.perf_counter() - started
-        self.last_run = RunStats(
+        with self._stats_lock:
+            self.runtime.gpu_time_adjustment += runtime.gpu_time_adjustment
+        stats = RunStats(
             wall_seconds=wall,
-            gpu_adjustment_seconds=(self.runtime.gpu_time_adjustment
-                                    - adjustment_before),
+            gpu_adjustment_seconds=runtime.gpu_time_adjustment,
             optimize_seconds=optimize_seconds,
             report=report,
+            cache_hit=cache_hit,
         )
-        return result
+        self.last_run = stats
+        return result, stats
 
 
 class PreparedQuery:
@@ -213,6 +314,10 @@ class PreparedQuery:
 
     def execute(self) -> Table:
         """Run the prepared plan (no re-optimization)."""
+        return self.session._execute(self.plan, self.report, 0.0)[0]
+
+    def execute_with_stats(self) -> Tuple[Table, RunStats]:
+        """Run the prepared plan, returning this call's stats."""
         return self.session._execute(self.plan, self.report, 0.0)
 
     def optimized_graphs(self) -> List[Graph]:

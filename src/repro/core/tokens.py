@@ -33,6 +33,18 @@ class Token:
     def is_symbol(self, symbol: str) -> bool:
         return self.kind == "symbol" and self.value == symbol
 
+    def canonical(self) -> str:
+        """Canonical source rendering of this token.
+
+        Keywords are already lowercased and ``!=`` is already folded to
+        ``<>`` by the lexer; strings are re-quoted with escapes so the
+        rendering round-trips through :func:`tokenize`. Used by the serving
+        layer to build normalized plan-cache keys.
+        """
+        if self.kind == "string":
+            return "'" + self.value.replace("'", "''") + "'"
+        return self.value
+
 
 def tokenize(text: str) -> List[Token]:
     """Lex SQL text into tokens; raises :class:`ParseError` on bad input."""

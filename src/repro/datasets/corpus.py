@@ -15,7 +15,7 @@ evaluation data needed to *measure* the runtime of each physical choice.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 import numpy as np
 

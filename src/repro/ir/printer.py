@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
 
-from repro.ir.unified import IRNode, UnifiedIR
+from repro.ir.unified import UnifiedIR
 
 
 def ir_to_text(ir: UnifiedIR) -> str:

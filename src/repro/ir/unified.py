@@ -9,7 +9,7 @@ printer, the statistics module, and coverage analyses consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 from repro.relational.logical import PlanNode, Predict, walk

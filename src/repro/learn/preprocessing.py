@@ -7,7 +7,7 @@ predicates and projections through (§4.1).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

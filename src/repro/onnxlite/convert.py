@@ -14,7 +14,7 @@ reconstruct the ensemble exactly (bit-for-bit with the learn estimator).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -13,8 +13,8 @@ Attribute values are plain Python scalars, lists, numpy arrays, or
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 

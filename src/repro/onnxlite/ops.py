@@ -16,13 +16,13 @@ The operator set mirrors ONNX-ML plus the Raven ``FeatureExtractor`` /
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List
 
 import numpy as np
 
 from repro.errors import GraphError, UnsupportedOperatorError
 from repro.learn.base import sigmoid, softmax
-from repro.onnxlite.graph import FLOAT, INT, STRING, Graph, Node, TensorInfo
+from repro.onnxlite.graph import FLOAT, INT, STRING, Graph, Node
 
 
 @dataclass

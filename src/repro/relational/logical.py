@@ -166,7 +166,8 @@ class Join(PlanNode):
         return Schema(list(left_schema) + list(right_schema))
 
     def _label(self):
-        keys = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
+        keys = ", ".join(f"{lk}={rk}"
+                         for lk, rk in zip(self.left_keys, self.right_keys))
         return f"Join[{self.how}]({keys})"
 
 

@@ -10,7 +10,7 @@ passes then push the narrowed column set below joins and into scans.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.relational.expressions import (
     BinaryOp,

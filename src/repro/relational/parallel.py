@@ -43,7 +43,12 @@ def split_serial_tail(plan: PlanNode) -> Tuple[List[PlanNode], PlanNode]:
     return tail, current
 
 
-def _chunk_ranges(num_rows: int, chunks: int) -> List[Tuple[int, int]]:
+def chunk_ranges(num_rows: int, chunks: int) -> List[Tuple[int, int]]:
+    """Split ``[0, num_rows)`` into up to ``chunks`` contiguous ranges.
+
+    Shared by chunk-parallel plan execution (DOP), the batched inference
+    path in :mod:`repro.core.executor`, and the serving micro-batcher.
+    """
     chunks = max(1, min(chunks, num_rows)) if num_rows else 1
     size = -(-num_rows // chunks) if num_rows else 0
     out = []
@@ -97,7 +102,7 @@ class ParallelExecutor:
             return Executor(self.catalog, self.predict_executor).execute(plan)
 
         num_rows = self.catalog.table(target.table_name).num_rows
-        ranges = _chunk_ranges(num_rows, self.dop)
+        ranges = chunk_ranges(num_rows, self.dop)
 
         def run_chunk(row_range: Tuple[int, int]) -> Table:
             executor = Executor(
@@ -116,12 +121,12 @@ class ParallelExecutor:
 
         # Serial tail over the concatenated body output.
         for op in reversed(tail):
-            result = _apply_tail(op, result, self.catalog, self.predict_executor)
+            result = apply_tail(op, result, self.catalog, self.predict_executor)
         return result
 
 
-def _apply_tail(op: PlanNode, table: Table, catalog: Catalog,
-                predict_executor: Optional[PredictExecutor]) -> Table:
+def apply_tail(op: PlanNode, table: Table, catalog: Catalog,
+               predict_executor: Optional[PredictExecutor]) -> Table:
     """Run one serial-tail operator over a materialized table."""
     from repro.relational.logical import PlanNode as _PlanNode
 

@@ -1,0 +1,275 @@
+"""Micro-batching front door for high-QPS prediction serving.
+
+The paper's batch-size experiments (Fig. 7) show per-call overhead
+dominating at small batch sizes: scoring one row costs almost as much as
+scoring thousands, because session dispatch and kernel launch are
+amortized across the batch. An online serving tier receives exactly that
+worst case — a stream of concurrent single-row (or few-row) requests.
+
+:class:`MicroBatcher` coalesces concurrent predict requests against the
+same model into one vectorized execution: requests are queued per
+endpoint, stacked into a single columnar batch, scored through the
+session's shared :class:`~repro.onnxlite.runtime.InferenceSession` cache
+(:meth:`~repro.core.executor.PredictRuntime.run_graph_batched`, the same
+path ``sql()`` uses), and the stacked outputs are split back per request.
+Oversized coalesced batches chunk via
+:func:`repro.relational.parallel.chunk_ranges`, like the DOP executor.
+
+Endpoints default to the catalog's registered model graphs; use
+:meth:`MicroBatcher.register_endpoint` to serve an *optimized* graph
+instead — e.g. one lifted from a cached plan or
+``PreparedQuery.optimized_graphs()``, so cross-optimizations (predicate
+pruning, projection pushdown) carry over to the request path.
+
+Two operating modes:
+
+* **manual** — call :meth:`flush` to drain synchronously (deterministic;
+  what the tests use);
+* **background** — :meth:`start` a worker thread that flushes when the
+  oldest pending request has waited ``max_delay`` seconds or a batch
+  reaches ``max_batch_rows``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+
+@dataclass
+class BatcherStats:
+    """Coalescing counters (monotonic)."""
+
+    requests: int = 0
+    batches: int = 0
+    rows: int = 0
+    largest_batch: int = 0
+
+    @property
+    def requests_per_batch(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+
+class _Request:
+    __slots__ = ("inputs", "rows", "future")
+
+    def __init__(self, inputs: Dict[str, np.ndarray], rows: int,
+                 future: Future):
+        self.inputs = inputs
+        self.rows = rows
+        self.future = future
+
+
+class MicroBatcher:
+    """Coalesces small predict requests into vectorized executions."""
+
+    def __init__(self, session, max_batch_rows: int = 4096,
+                 max_delay: float = 0.002):
+        if max_batch_rows < 1:
+            raise ValueError("max_batch_rows must be >= 1")
+        self.session = session
+        self.max_batch_rows = max_batch_rows
+        self.max_delay = max_delay
+        self.stats = BatcherStats()
+        self._graphs: Dict[str, object] = {}
+        # Names resolved from the catalog (vs. explicit register_endpoint);
+        # these are dropped when the underlying model is re-registered so
+        # the batcher never serves a stale graph after DDL.
+        self._auto_resolved: set = set()
+        self._queues: Dict[str, List[_Request]] = {}
+        self._oldest: Optional[float] = None
+        self._condition = threading.Condition()
+        self._worker: Optional[threading.Thread] = None
+        self._stopping = False
+        session.catalog.subscribe(self._on_catalog_change)
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def register_endpoint(self, name: str, graph: object) -> None:
+        """Serve ``graph`` under ``name`` (overrides the catalog model).
+
+        Lets callers install a post-optimization graph — e.g.
+        ``session.prepare(query).optimized_graphs()[0]`` — so batched
+        requests run the same pruned pipeline the cached plan runs.
+        """
+        with self._condition:
+            self._graphs[name] = graph
+            self._auto_resolved.discard(name)
+
+    def _graph_for(self, name: str):
+        graph = self._graphs.get(name)
+        if graph is None:
+            graph = self.session.catalog.model(name).graph
+            with self._condition:
+                if name not in self._graphs:
+                    self._graphs[name] = graph
+                    self._auto_resolved.add(name)
+                graph = self._graphs[name]
+        return graph
+
+    def _on_catalog_change(self, kind: str, name: str) -> None:
+        """Invalidation hook: drop catalog-resolved graphs on model DDL."""
+        if kind != "model":
+            return
+        with self._condition:
+            if name in self._auto_resolved:
+                self._auto_resolved.discard(name)
+                self._graphs.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def predict(self, model: str, inputs: Mapping[str, object]) -> Future:
+        """Queue a single-row or small-batch predict request.
+
+        ``inputs`` maps graph input names to scalars or 1-D arrays (all
+        arrays must share one length). Returns a Future resolving to a
+        dict of graph output name -> array with this request's rows.
+        """
+        graph = self._graph_for(model)
+        arrays: Dict[str, np.ndarray] = {}
+        rows: Optional[int] = None
+        for info in graph.inputs:
+            if info.name not in inputs:
+                raise ExecutionError(
+                    f"predict request for {model!r} lacks input {info.name!r}"
+                )
+            array = np.asarray(inputs[info.name])
+            if array.ndim == 0:
+                array = array.reshape(1)
+            if rows is None:
+                rows = len(array)
+            elif len(array) != rows:
+                raise ExecutionError(
+                    f"predict request inputs disagree on row count "
+                    f"({len(array)} vs {rows})"
+                )
+            arrays[info.name] = array
+        future: Future = Future()
+        request = _Request(arrays, rows or 0, future)
+        with self._condition:
+            self._queues.setdefault(model, []).append(request)
+            if self._oldest is None:
+                self._oldest = time.monotonic()
+            self.stats.requests += 1
+            self.stats.rows += request.rows
+            self._condition.notify_all()
+        return future
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        """Drain all pending requests now; returns batches executed."""
+        with self._condition:
+            drained = {name: reqs for name, reqs in self._queues.items() if reqs}
+            self._queues = {}
+            self._oldest = None
+        executed = 0
+        for model, requests in drained.items():
+            self._execute_batch(model, requests)
+            executed += 1
+        return executed
+
+    def _execute_batch(self, model: str, requests: List[_Request]) -> None:
+        graph = self._graph_for(model)
+        runtime = self.session.runtime
+        try:
+            total = sum(request.rows for request in requests)
+            stacked = {
+                info.name: np.concatenate(
+                    [request.inputs[info.name] for request in requests])
+                for info in graph.inputs
+            }
+            wanted = list(graph.outputs)
+            # One vectorized execution for the whole coalesced batch;
+            # run_graph_batched re-chunks internally (chunk_ranges) if the
+            # stack exceeds the runtime's vectorization batch size.
+            outputs = runtime.run_graph_batched(graph, stacked, wanted, total)
+        except BaseException as error:  # noqa: B036 - propagate to waiters
+            for request in requests:
+                if not request.future.cancelled():
+                    request.future.set_exception(error)
+            return
+        with self._condition:
+            self.stats.batches += 1
+            self.stats.largest_batch = max(self.stats.largest_batch,
+                                           len(requests))
+        start = 0
+        for request in requests:
+            piece = {name: array[start:start + request.rows]
+                     for name, array in outputs.items()}
+            start += request.rows
+            if not request.future.cancelled():
+                request.future.set_result(piece)
+
+    def pending_rows(self) -> int:
+        with self._condition:
+            return sum(request.rows for requests in self._queues.values()
+                       for request in requests)
+
+    # ------------------------------------------------------------------
+    # Background worker
+    # ------------------------------------------------------------------
+    def start(self) -> "MicroBatcher":
+        """Start the background flusher; idempotent. Returns self."""
+        with self._condition:
+            if self._worker is not None:
+                return self
+            self._stopping = False
+            self._worker = threading.Thread(target=self._run, daemon=True,
+                                            name="raven-micro-batcher")
+            self._worker.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the worker and flush anything still queued."""
+        self.session.catalog.unsubscribe(self._on_catalog_change)
+        with self._condition:
+            self._stopping = True
+            worker = self._worker
+            self._worker = None
+            self._condition.notify_all()
+        if worker is not None:
+            worker.join(timeout=5.0)
+        self.flush()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _run(self) -> None:
+        while True:
+            with self._condition:
+                while not self._stopping and self._oldest is None:
+                    self._condition.wait()
+                if self._stopping:
+                    break
+                # Collect arrivals until the oldest request has waited
+                # max_delay or the pending rows fill a batch.
+                deadline = self._oldest + self.max_delay
+                while not self._stopping:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    if sum(r.rows for reqs in self._queues.values()
+                           for r in reqs) >= self.max_batch_rows:
+                        break
+                    self._condition.wait(timeout=remaining)
+            self.flush()
+        self.flush()
+
+    def __repr__(self) -> str:
+        s = self.stats
+        return (f"MicroBatcher(requests={s.requests}, batches={s.batches}, "
+                f"rows={s.rows}, largest_batch={s.largest_batch})")

@@ -1,0 +1,120 @@
+"""SQL normalization for the plan cache (auto-parameterization).
+
+Repeated prediction queries usually differ only in whitespace, comments,
+identifier quoting, keyword case — or in the literal values of their
+predicates (``WHERE p.score > 0.8`` vs ``> 0.9``). The plan cache must not
+treat those as unrelated texts, but it also must not blindly reuse a plan
+across *different* literals: Raven's cross-optimizations (predicate-based
+model pruning, data-induced per-partition models) specialize the plan to
+the literal values.
+
+So normalization splits a query into
+
+* a **template** — the token stream with every number/string literal
+  replaced by ``?`` (SQL Server-style auto-parameterization), rendered
+  canonically via :meth:`repro.core.tokens.Token.canonical`; and
+* a **parameter signature** — the lifted literals, in order.
+
+``(template, params)`` is the cache key: textual variants of the same
+query collide into one entry, while literal changes get their own
+(correctly re-optimized) plan under the same template. Dependencies for
+invalidation are extracted from the parsed AST by
+:func:`query_dependencies`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from repro.core.parser import (
+    PredictRef,
+    SelectStmt,
+    SubqueryRef,
+    TableRef,
+    parse,
+)
+from repro.core.tokens import tokenize
+
+
+@dataclass(frozen=True)
+class NormalizedQuery:
+    """A query reduced to its plan-cache identity."""
+
+    template: str
+    params: Tuple[Tuple[str, str], ...]  # (kind, raw text) per lifted literal
+
+    @property
+    def key(self) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+        return (self.template, self.params)
+
+
+def normalize_query(text: str) -> NormalizedQuery:
+    """Tokenize ``text`` and lift literals out into a parameter signature.
+
+    Raises :class:`repro.errors.ParseError` on lexically invalid input, the
+    same error a full parse would produce.
+    """
+    tokens = [token for token in tokenize(text) if token.kind != "eof"]
+    # Only a *trailing* ';' is cosmetic; a ';' anywhere else must stay in
+    # the template so unparseable text can never collide with (and be
+    # served from) a cached valid query.
+    while tokens and tokens[-1].is_symbol(";"):
+        tokens.pop()
+    parts = []
+    params = []
+    for token in tokens:
+        if token.kind in ("number", "string"):
+            params.append((token.kind, token.value))
+            parts.append("?")
+        else:
+            parts.append(token.canonical())
+    return NormalizedQuery(template=" ".join(parts), params=tuple(params))
+
+
+@dataclass(frozen=True)
+class QueryDependencies:
+    """Catalog objects a query reads — what invalidates its cached plan."""
+
+    tables: FrozenSet[str]
+    models: FrozenSet[str]
+
+
+def query_dependencies(stmt_or_sql) -> QueryDependencies:
+    """Collect the table and model names a statement references.
+
+    Accepts a SQL string or an already-parsed :class:`SelectStmt`. CTE
+    names shadow catalog tables only for references *after* the CTE is
+    defined, matching the binder: a CTE body that reads a same-named
+    catalog table (``WITH c AS (SELECT * FROM c ...)``) still records a
+    dependency on the real table ``c``.
+    """
+    stmt = parse(stmt_or_sql) if isinstance(stmt_or_sql, str) else stmt_or_sql
+    tables: set = set()
+    models: set = set()
+    _walk_stmt(stmt, tables, models, frozenset())
+    return QueryDependencies(tables=frozenset(tables),
+                             models=frozenset(models))
+
+
+def _walk_stmt(stmt: SelectStmt, tables: set, models: set,
+               scope: FrozenSet[str]) -> None:
+    for name, inner in stmt.ctes:
+        # The CTE's own body binds before its name enters scope.
+        _walk_stmt(inner, tables, models, scope)
+        scope = scope | {name}
+    _walk_source(stmt.source, tables, models, scope)
+    for join in stmt.joins:
+        _walk_source(join.source, tables, models, scope)
+
+
+def _walk_source(source, tables: set, models: set,
+                 scope: FrozenSet[str]) -> None:
+    if isinstance(source, TableRef):
+        if source.name not in scope:
+            tables.add(source.name)
+    elif isinstance(source, SubqueryRef):
+        _walk_stmt(source.stmt, tables, models, scope)
+    elif isinstance(source, PredictRef):
+        models.add(source.model)
+        _walk_source(source.data, tables, models, scope)

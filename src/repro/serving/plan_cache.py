@@ -1,0 +1,183 @@
+"""A normalized, versioned, LRU-bounded cache of optimized plans.
+
+The paper's end-to-end wins come from optimizing a prediction query once
+and running the optimized plan many times; under repeated traffic the
+parse + bind + optimize cost on every ``RavenSession.sql()`` call throws
+that away. The cache stores the fully optimized physical plan and its
+:class:`~repro.core.optimizer.OptimizationReport`, keyed by
+
+* the normalized query template and lifted-literal signature
+  (:mod:`repro.serving.normalize`); and
+* the catalog versions of every table/model the query references.
+
+Entries are invalidated two ways, belt and braces:
+
+* **eagerly** — the cache subscribes to catalog change notifications
+  (:meth:`repro.storage.catalog.Catalog.subscribe`), so re-registering a
+  table or model drops every plan that read it;
+* **on lookup** — each entry records the dependency versions it was
+  optimized against, and :meth:`get` rejects entries whose recorded
+  versions no longer match the live catalog (covers plans inserted while
+  a concurrent DDL was in flight).
+
+All operations are thread-safe; counters are exposed via :attr:`stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.storage.catalog import Catalog
+
+DEFAULT_CAPACITY = 128
+
+# (kind, name) -> catalog entry version at optimization time.
+DependencyVersions = Dict[Tuple[str, str], int]
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss/eviction/invalidation counters (monotonic)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "PlanCacheStats":
+        return PlanCacheStats(self.hits, self.misses,
+                              self.evictions, self.invalidations)
+
+
+@dataclass
+class CachedPlan:
+    """One optimized plan plus everything needed to validate reuse."""
+
+    template: str
+    params: Tuple
+    plan: object  # repro.relational.logical.PlanNode
+    report: object  # repro.core.optimizer.OptimizationReport
+    tables: FrozenSet[str] = frozenset()
+    models: FrozenSet[str] = frozenset()
+    versions: DependencyVersions = field(default_factory=dict)
+    hits: int = 0
+
+    def depends_on(self, kind: str, name: str) -> bool:
+        names = self.tables if kind == "table" else self.models
+        return name in names
+
+    def is_current(self, catalog: Catalog) -> bool:
+        return all(catalog.entry_version(kind, name) == version
+                   for (kind, name), version in self.versions.items())
+
+
+def dependency_versions(catalog: Catalog, tables, models) -> DependencyVersions:
+    """Capture the live versions of a query's dependencies.
+
+    Unregistered names map to ``None`` so that *registering* them later
+    also invalidates (resolution could change).
+    """
+    versions: DependencyVersions = {}
+    for name in tables:
+        versions[("table", name)] = catalog.entry_version("table", name)
+    for name in models:
+        versions[("model", name)] = catalog.entry_version("model", name)
+    return versions
+
+
+class PlanCache:
+    """Thread-safe LRU cache of optimized plans for one session."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, CachedPlan]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._stats = PlanCacheStats()
+
+    # ------------------------------------------------------------------
+    def get(self, key: Tuple, catalog: Catalog) -> Optional[CachedPlan]:
+        """Look up a plan; validates dependency versions before returning."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and not entry.is_current(catalog):
+                # Stale insert that raced a catalog mutation.
+                del self._entries[key]
+                self._stats.invalidations += 1
+                entry = None
+            if entry is None:
+                self._stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._stats.hits += 1
+            entry.hits += 1
+            return entry
+
+    def put(self, key: Tuple, entry: CachedPlan) -> None:
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self, kind: Optional[str] = None,
+                   name: Optional[str] = None) -> int:
+        """Drop entries depending on ``(kind, name)``; everything if None.
+
+        Returns the number of entries removed.
+        """
+        with self._lock:
+            if kind is None or name is None:
+                removed = len(self._entries)
+                self._entries.clear()
+            else:
+                stale = [key for key, entry in self._entries.items()
+                         if entry.depends_on(kind, name)]
+                for key in stale:
+                    del self._entries[key]
+                removed = len(stale)
+            self._stats.invalidations += removed
+            return removed
+
+    def attach(self, catalog: Catalog) -> None:
+        """Subscribe this cache's invalidation hook to catalog changes."""
+        catalog.subscribe(self._on_catalog_change)
+
+    def detach(self, catalog: Catalog) -> None:
+        catalog.unsubscribe(self._on_catalog_change)
+
+    def _on_catalog_change(self, kind: str, name: str) -> None:
+        self.invalidate(kind, name)
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> PlanCacheStats:
+        return self._stats
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:
+        s = self._stats
+        return (f"PlanCache(size={len(self)}/{self.capacity}, hits={s.hits}, "
+                f"misses={s.misses}, evictions={s.evictions}, "
+                f"invalidations={s.invalidations})")

@@ -15,8 +15,9 @@ the model format.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import CatalogError
 from repro.storage.partition import PartitionedTable
@@ -32,6 +33,7 @@ class TableEntry:
     data: PartitionedTable
     stats: TableStats
     primary_key: Optional[List[str]] = None
+    version: int = 0
 
     @property
     def schema(self) -> Schema:
@@ -49,14 +51,64 @@ class ModelEntry:
     name: str
     graph: object  # repro.onnxlite.graph.Graph (opaque here)
     metadata: Dict[str, object] = field(default_factory=dict)
+    version: int = 0
+
+
+# change_listener(kind, name) with kind in {"table", "model"}; fired on
+# register, replace and drop — the plan cache's invalidation hook.
+ChangeListener = Callable[[str, str], None]
 
 
 class Catalog:
-    """Mutable registry of tables and models for a session."""
+    """Mutable registry of tables and models for a session.
+
+    Mutations are serialized by an internal lock and bump a monotonically
+    increasing catalog version; each entry records the version at which it
+    was (re)registered. Listeners subscribed via :meth:`subscribe` are
+    notified after every mutation — this is what keeps a
+    :class:`repro.serving.PlanCache` consistent with DDL.
+    """
 
     def __init__(self):
         self._tables: Dict[str, TableEntry] = {}
         self._models: Dict[str, ModelEntry] = {}
+        self._lock = threading.RLock()
+        self._version = 0
+        self._listeners: List[ChangeListener] = []
+
+    # ------------------------------------------------------------------
+    # Versioning + change notification
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every catalog mutation."""
+        return self._version
+
+    def subscribe(self, listener: ChangeListener) -> None:
+        """Register a callback fired as ``listener(kind, name)`` after
+        every table/model registration, replacement, or drop."""
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners.append(listener)
+
+    def unsubscribe(self, listener: ChangeListener) -> None:
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    def _bump(self) -> int:
+        self._version += 1
+        return self._version
+
+    def _notify(self, kind: str, name: str) -> None:
+        for listener in list(self._listeners):
+            listener(kind, name)
+
+    def entry_version(self, kind: str, name: str) -> Optional[int]:
+        """Current version of a table/model entry; None if not registered."""
+        registry = self._tables if kind == "table" else self._models
+        entry = registry.get(name)
+        return None if entry is None else entry.version
 
     # ------------------------------------------------------------------
     # Tables
@@ -71,8 +123,6 @@ class Catalog:
         distinct values (what a user-specified partitioning scheme does in
         Spark/Parquet, paper §4.2).
         """
-        if name in self._tables and not replace:
-            raise CatalogError(f"table {name!r} already registered")
         if isinstance(table, Table):
             data = PartitionedTable.from_table(table, partition_column)
         else:
@@ -84,13 +134,18 @@ class Catalog:
                     raise CatalogError(
                         f"primary key column {key!r} not in table {name!r}"
                     )
-        entry = TableEntry(
-            name=name,
-            data=data,
-            stats=data.global_stats(),
-            primary_key=list(primary_key) if primary_key else None,
-        )
-        self._tables[name] = entry
+        with self._lock:
+            if name in self._tables and not replace:
+                raise CatalogError(f"table {name!r} already registered")
+            entry = TableEntry(
+                name=name,
+                data=data,
+                stats=data.global_stats(),
+                primary_key=list(primary_key) if primary_key else None,
+                version=self._bump(),
+            )
+            self._tables[name] = entry
+            self._notify("table", name)
         return entry
 
     def table(self, name: str) -> TableEntry:
@@ -104,7 +159,10 @@ class Catalog:
         return name in self._tables
 
     def drop_table(self, name: str) -> None:
-        self._tables.pop(name, None)
+        with self._lock:
+            if self._tables.pop(name, None) is not None:
+                self._bump()
+                self._notify("table", name)
 
     @property
     def table_names(self) -> List[str]:
@@ -115,11 +173,20 @@ class Catalog:
     # ------------------------------------------------------------------
     def add_model(self, name: str, graph: object, replace: bool = False,
                   **metadata: object) -> ModelEntry:
-        if name in self._models and not replace:
-            raise CatalogError(f"model {name!r} already registered")
-        entry = ModelEntry(name=name, graph=graph, metadata=dict(metadata))
-        self._models[name] = entry
+        with self._lock:
+            if name in self._models and not replace:
+                raise CatalogError(f"model {name!r} already registered")
+            entry = ModelEntry(name=name, graph=graph,
+                               metadata=dict(metadata), version=self._bump())
+            self._models[name] = entry
+            self._notify("model", name)
         return entry
+
+    def drop_model(self, name: str) -> None:
+        with self._lock:
+            if self._models.pop(name, None) is not None:
+                self._bump()
+                self._notify("model", name)
 
     def model(self, name: str) -> ModelEntry:
         if name not in self._models:

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.errors import CompileError, UnsupportedOperatorError
-from repro.onnxlite.graph import Graph, Node
+from repro.onnxlite.graph import Graph
 from repro.onnxlite.ops import infer_edge_info
 from repro.tensor.program import (
     Affine,

@@ -12,7 +12,7 @@ emits (paper §5.1, MLtoDNN). Every operator implements
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -6,7 +6,9 @@ The thin façade the Raven executor calls for Predict nodes annotated
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -24,15 +26,35 @@ from repro.tensor.program import TensorProgram
 class TensorRuntime:
     """Compiles-and-caches programs, executes them on a chosen device."""
 
+    # Bound on cached compiled programs; eviction just recompiles later.
+    MAX_CACHED_PROGRAMS = 64
+
     def __init__(self, device=None):
         self.device = device or CpuDevice()
-        self._cache: Dict[int, TensorProgram] = {}
+        # id(graph) -> (graph, program). The graph is kept referenced so
+        # its id cannot be recycled by a later allocation — otherwise a
+        # freed graph's address could alias a new graph and serve it the
+        # wrong compiled program. LRU-bounded so a long-lived serving
+        # process with model churn does not pin graphs forever.
+        self._cache: "OrderedDict[int, Tuple[Graph, TensorProgram]]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def compile(self, graph: Graph, tree_strategy: Optional[str] = None) -> TensorProgram:
         key = id(graph)
-        if key not in self._cache:
-            self._cache[key] = compile_graph(graph, tree_strategy)
-        return self._cache[key]
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                return cached[1]
+        program = compile_graph(graph, tree_strategy)
+        with self._lock:
+            existing = self._cache.get(key)
+            if existing is not None:
+                return existing[1]
+            self._cache[key] = (graph, program)
+            while len(self._cache) > self.MAX_CACHED_PROGRAMS:
+                self._cache.popitem(last=False)
+        return program
 
     def run(self, graph: Graph, inputs: Dict[str, np.ndarray],
             tree_strategy: Optional[str] = None) -> RunResult:

@@ -15,7 +15,7 @@ Both produce aggregated ensemble scores identical (up to fp rounding) to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

@@ -1,11 +1,9 @@
 """Tests for benchmark harness utilities and workload construction."""
 
-import numpy as np
 import pytest
 
 from repro.bench import (
     ReportTable,
-    Workload,
     build_workload,
     env_scale,
     load_dataset,

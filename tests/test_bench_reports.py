@@ -12,6 +12,10 @@ from repro.bench import reports
 from repro.core.strategies import CHOICES
 from repro.datasets import generate_corpus
 
+# Corpus generation + measurement dominates the suite's runtime; the PR CI
+# job skips these and the full set runs on pushes to main.
+pytestmark = pytest.mark.slow
+
 
 class TestCorpusMeasurement:
     @pytest.fixture(scope="class")

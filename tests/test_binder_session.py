@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro import RavenSession, Table
 from repro.core.binder import Binder
-from repro.core.parser import parse
 from repro.errors import CatalogError, PlanError
 from repro.learn import (
     DecisionTreeClassifier,

@@ -59,6 +59,7 @@ def test_training_deterministic(factory, rng):
     assert fit_and_serialize() == fit_and_serialize()
 
 
+@pytest.mark.slow
 def test_corpus_graphs_bit_identical():
     a = generate_corpus(n_pipelines=3, seed=4, train_rows=200, eval_rows=50)
     b = generate_corpus(n_pipelines=3, seed=4, train_rows=200, eval_rows=50)

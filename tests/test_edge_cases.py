@@ -11,7 +11,6 @@ from repro.learn import (
     make_standard_pipeline,
 )
 from repro.onnxlite import convert_pipeline, run_graph
-from repro.storage import Catalog
 
 
 @pytest.fixture()

@@ -10,10 +10,8 @@ from repro.relational.expressions import (
     BinaryOp,
     CaseWhen,
     Cast,
-    ColumnRef,
     FunctionCall,
     InList,
-    Literal,
     UnaryOp,
     col,
     conjunction,

@@ -15,10 +15,9 @@ from repro.learn import (
     RandomForestRegressor,
     SimpleImputer,
     StandardScaler,
-    make_standard_pipeline,
 )
 from repro.onnxlite import convert_model, convert_pipeline, run_graph
-from repro.tensor import compile_graph, cpu_runtime
+from repro.tensor import cpu_runtime
 
 
 @pytest.fixture()

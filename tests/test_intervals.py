@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.rules.intervals import (
@@ -16,7 +15,7 @@ from repro.core.rules.intervals import (
 )
 from repro.learn import DecisionTreeClassifier
 from repro.learn.tree import TreeNode
-from repro.onnxlite import Graph, Node, TensorInfo, convert_pipeline
+from repro.onnxlite import Graph, Node, TensorInfo
 
 
 class TestInterval:

@@ -64,6 +64,7 @@ class TestUnifiedIR:
         assert set(metrics) == set(FIG1_METRICS)
         assert metrics["n_trees"] == 1
 
+    @pytest.mark.slow
     def test_corpus_summary_shape(self):
         corpus = generate_corpus(n_pipelines=6, seed=3, eval_rows=50,
                                  train_rows=300)

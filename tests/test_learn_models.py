@@ -140,7 +140,8 @@ class TestDecisionTree:
         X, y = binary_data
         model = DecisionTreeClassifier(max_depth=12, min_samples_leaf=50,
                                        random_state=0).fit(X, y)
-        assert min(l.n_samples for l in model.tree_.iter_leaves()) >= 50
+        assert min(leaf.n_samples
+                   for leaf in model.tree_.iter_leaves()) >= 50
 
     def test_pure_node_stops(self):
         X = np.asarray([[0.0], [1.0]])

@@ -5,7 +5,6 @@ import pytest
 from repro.core.parser import (
     AggregateCall,
     PredictRef,
-    SelectStmt,
     Star,
     SubqueryRef,
     TableRef,
@@ -18,7 +17,6 @@ from repro.relational.expressions import (
     BinaryOp,
     CaseWhen,
     Cast,
-    ColumnRef,
     FunctionCall,
     InList,
     Literal,

@@ -8,7 +8,6 @@ from repro import RavenSession, Table
 from repro.core.session import PreparedQuery
 from repro.learn import (
     DecisionTreeClassifier,
-    DecisionTreeRegressor,
     GradientBoostingRegressor,
     LogisticRegression,
     make_standard_pipeline,

@@ -7,7 +7,6 @@ from repro.relational import (
     Aggregate,
     AggregateSpec,
     BinaryOp,
-    Executor,
     Filter,
     Join,
     Limit,
@@ -22,7 +21,6 @@ from repro.relational import (
 )
 from repro.relational.optimizer import (
     drop_trivial_filters,
-    eliminate_joins,
     merge_filters,
     prune_columns,
     push_down_filters,

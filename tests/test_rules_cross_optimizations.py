@@ -1,20 +1,18 @@
 """Tests for predicate-based model pruning and model-projection pushdown."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.binder import Binder
 from repro.core.parser import parse
 from repro.core.rules import (
-    ModelProjectionPushdown,
     PredicateBasedModelPruning,
     extract_input_constraints,
     parse_constraint,
     pushdown_graph,
     used_feature_indices,
 )
-from repro.core.rules.intervals import Interval, StringConstraint
+from repro.core.rules.intervals import StringConstraint
 from repro.learn import (
     DecisionTreeClassifier,
     LogisticRegression,

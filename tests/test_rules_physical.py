@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro import RavenSession
 from repro.core.rules import (
-    DataInducedOptimization,
     MLtoDNN,
     MLtoSQL,
     graph_to_expressions,
@@ -22,8 +21,7 @@ from repro.learn import (
     make_standard_pipeline,
 )
 from repro.onnxlite import convert_model, convert_pipeline, run_graph
-from repro.relational import PredictMode, find_predict_nodes, walk
-from repro.relational.logical import Predict, Project
+from repro.relational import PredictMode, find_predict_nodes
 from repro.relational.sqlgen import expression_to_sql
 from repro.storage import Table
 

@@ -2,7 +2,6 @@
 expression (the sqlgen <-> parser loop is closed)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.parser import parse

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import SchemaError
-from repro.storage.column import Column, DataType, concat_columns, infer_dtype
+from repro.storage.column import Column, DataType, concat_columns
 
 
 class TestDataType:

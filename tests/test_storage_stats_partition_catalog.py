@@ -8,7 +8,6 @@ from repro.storage import (
     Catalog,
     Column,
     ColumnStats,
-    DataType,
     PartitionedTable,
     Table,
     TableStats,
