@@ -25,7 +25,7 @@ import numpy as np
 from repro.errors import ExecutionError
 from repro.onnxlite.graph import Graph
 from repro.onnxlite.runtime import InferenceSession
-from repro.relational.executor import Executor
+from repro.relational.executor import ExecStats, Executor
 from repro.relational.logical import PlanNode, Predict, PredictMode, Scan, walk
 from repro.relational.parallel import (
     ParallelExecutor,
@@ -185,10 +185,20 @@ class QueryExecutor:
     """
 
     def __init__(self, catalog: Catalog, runtime: Optional[PredictRuntime] = None,
-                 dop: int = 1):
+                 dop: int = 1, compile_expressions: bool = True):
         self.catalog = catalog
         self.runtime = runtime or PredictRuntime()
         self.dop = dop
+        self.compile_expressions = compile_expressions
+        # Aggregated over every executor this query fans out to
+        # (chunk-parallel, per-partition); read by RunStats.
+        self.exec_stats = ExecStats()
+
+    def _make_executor(self, scan_restrictions=None) -> Executor:
+        return Executor(self.catalog, self.runtime,
+                        scan_restrictions=scan_restrictions,
+                        compile_expressions=self.compile_expressions,
+                        exec_stats=self.exec_stats)
 
     def execute(self, plan: PlanNode) -> Table:
         from repro.relational.skipping import plan_partition_restrictions
@@ -199,10 +209,12 @@ class QueryExecutor:
                 # Data skipping (paper §4.2): scan only the surviving
                 # partitions. Runs serially — the skip already removed the
                 # bulk of the work chunk-parallelism would have split.
-                executor = Executor(self.catalog, self.runtime,
-                                    scan_restrictions=dict(skip))
-                return executor.execute(plan)
-            return ParallelExecutor(self.catalog, self.dop, self.runtime).execute(plan)
+                return self._make_executor(dict(skip)).execute(plan)
+            return ParallelExecutor(
+                self.catalog, self.dop, self.runtime,
+                compile_expressions=self.compile_expressions,
+                exec_stats=self.exec_stats,
+            ).execute(plan)
         return self._execute_per_partition(plan, partitioned, skip)
 
     # ------------------------------------------------------------------
@@ -227,16 +239,14 @@ class QueryExecutor:
         pieces: List[Table] = []
         for index in surviving:
             self.runtime.active_partition = index
-            executor = Executor(self.catalog, self.runtime,
-                                scan_restrictions={table_name: index})
+            executor = self._make_executor({table_name: index})
             pieces.append(executor.execute(body))
         self.runtime.active_partition = None
         if not pieces:
             # Every partition was skipped; produce an empty result with the
             # right schema by executing over an empty partition slice.
             self.runtime.active_partition = 0
-            executor = Executor(self.catalog, self.runtime,
-                                scan_restrictions={table_name: []})
+            executor = self._make_executor({table_name: []})
             pieces.append(executor.execute(body))
             self.runtime.active_partition = None
         result = concat_tables(pieces)

@@ -69,6 +69,10 @@ class RunStats:
     optimize_seconds: float = 0.0
     report: Optional[OptimizationReport] = None
     cache_hit: bool = False
+    # Compiled-expression engine reuse: programs compiled this call vs
+    # fetched from the per-plan cache (warm hits report reused only).
+    programs_compiled: int = 0
+    programs_reused: int = 0
 
     @property
     def adjusted_seconds(self) -> float:
@@ -89,8 +93,13 @@ class RavenSession:
                  gpu_spec=K80,
                  dop: int = 1,
                  batch_size: int = DEFAULT_BATCH_SIZE,
-                 plan_cache: Union[PlanCache, bool] = True):
+                 plan_cache: Union[PlanCache, bool] = True,
+                 compile_expressions: bool = True):
         self.catalog = Catalog()
+        # Compiled expression engine (CSE + masked CASE routing) for
+        # Filter/Project evaluation; False selects the interpreted
+        # np.select path (the differential-testing oracle).
+        self.compile_expressions = compile_expressions
         self.enable_cross = enable_optimizations if enable_cross is None \
             else enable_cross
         self.enable_data_induced = enable_optimizations \
@@ -176,6 +185,11 @@ class RavenSession:
     def _plan_for(self, query: str):
         """Resolve a query to (plan, report, cache_hit) through the cache.
 
+        Concurrent misses for the same normalized key are single-flighted:
+        the first caller optimizes while the others wait on the in-flight
+        entry (``plan_cache.stats.coalesced``) instead of redundantly
+        re-optimizing; if the owner fails, waiters optimize independently.
+
         On a miss the dependency versions are captured *before* optimizing:
         if a concurrent registration lands mid-optimization, the inserted
         entry's recorded versions no longer match the live catalog and the
@@ -185,14 +199,32 @@ class RavenSession:
             plan, report = self.optimize(query)
             return plan, report, False
         normalized = normalize_query(query)
-        entry = self.plan_cache.get(normalized.key, self.catalog)
+        entry, flight, owner = self.plan_cache.begin(normalized.key, self.catalog)
         if entry is not None:
             return entry.plan, entry.report, True
+        if not owner:
+            entry = self.plan_cache.join(flight, self.catalog)
+            if entry is not None:
+                return entry.plan, entry.report, True
+            # Owner failed or its entry was invalidated: optimize here.
+            entry = self._optimize_to_entry(query, normalized)
+            self.plan_cache.put(normalized.key, entry)
+            return entry.plan, entry.report, False
+        try:
+            entry = self._optimize_to_entry(query, normalized)
+        except BaseException:
+            self.plan_cache.complete(flight, None)
+            raise
+        self.plan_cache.complete(flight, entry)
+        return entry.plan, entry.report, False
+
+    def _optimize_to_entry(self, query: str, normalized) -> CachedPlan:
+        """Parse + optimize a query into a cache-ready entry."""
         stmt = parse(query)
         deps = query_dependencies(stmt)
         versions = dependency_versions(self.catalog, deps.tables, deps.models)
         plan, report = self._optimize_stmt(stmt)
-        self.plan_cache.put(normalized.key, CachedPlan(
+        return CachedPlan(
             template=normalized.template,
             params=normalized.params,
             plan=plan,
@@ -200,8 +232,7 @@ class RavenSession:
             tables=deps.tables,
             models=deps.models,
             versions=versions,
-        ))
-        return plan, report, False
+        )
 
     def explain(self, query: str) -> str:
         """Optimized plan rendering plus the optimizer's report."""
@@ -280,7 +311,8 @@ class RavenSession:
         # program caches but keeps partition dispatch and GPU-time
         # accounting local, so concurrent calls never interleave state.
         runtime = self.runtime.for_call()
-        executor = QueryExecutor(self.catalog, runtime, dop=self.dop)
+        executor = QueryExecutor(self.catalog, runtime, dop=self.dop,
+                                 compile_expressions=self.compile_expressions)
         started = time.perf_counter()
         result = executor.execute(plan)
         wall = time.perf_counter() - started
@@ -292,6 +324,8 @@ class RavenSession:
             optimize_seconds=optimize_seconds,
             report=report,
             cache_hit=cache_hit,
+            programs_compiled=executor.exec_stats.programs_compiled,
+            programs_reused=executor.exec_stats.programs_reused,
         )
         self.last_run = stats
         return result, stats

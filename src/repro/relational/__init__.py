@@ -5,7 +5,12 @@ a vectorized columnar query engine with the host-side optimizations Raven
 depends on (predicate & projection pushdown, PK-FK join elimination).
 """
 
-from repro.relational.executor import Executor, execute
+from repro.relational.compile import (
+    CompiledProgram,
+    compile_outputs,
+    compile_predicate,
+)
+from repro.relational.executor import ExecStats, Executor, execute
 from repro.relational.expressions import (
     Between,
     BinaryOp,
@@ -47,10 +52,12 @@ from repro.relational.sqlgen import expression_to_sql, plan_to_sql
 
 __all__ = [
     "Aggregate", "AggregateSpec", "Between", "BinaryOp", "CaseWhen", "Cast",
-    "ColumnRef", "Executor", "Expression", "Filter", "FunctionCall", "InList",
+    "ColumnRef", "CompiledProgram", "ExecStats", "Executor", "Expression",
+    "Filter", "FunctionCall", "InList",
     "Join", "Limit", "Literal", "ParallelExecutor", "PlanNode", "Predict",
     "PredictMode", "Project", "RelationalOptimizer", "Scan", "Sort", "UnaryOp",
-    "col", "conjunction", "conjuncts", "execute", "expression_to_sql",
+    "col", "compile_outputs", "compile_predicate", "conjunction", "conjuncts",
+    "execute", "expression_to_sql",
     "find_predict_nodes", "fold_constants", "lit", "plan_to_sql",
     "substitute_columns", "transform_expression", "transform_plan", "walk",
 ]

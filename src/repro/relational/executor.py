@@ -1,19 +1,37 @@
-"""Vectorized plan execution.
+"""Vectorized plan execution with late materialization.
 
 Executes logical plans directly (this engine has no separate physical plan
 layer for relational operators — every operator has exactly one vectorized
 implementation). ML operators are delegated to a pluggable
 ``predict_executor`` callback so this module stays independent from the
 model-format packages.
+
+Execution is organized around **late materialization**: row-preserving
+operators pass a :class:`~repro.storage.table.TableView` — shared column
+data plus a selection vector — downstream instead of copying every column
+at every operator. ``Filter`` only composes selections; columns are
+gathered once, at pipeline breakers (join sides, aggregate, sort, predict
+inputs, final output). Scalar expressions are lowered to
+:class:`~repro.relational.compile.CompiledProgram` instructions (CSE +
+masked CASE routing + constant folding), cached per plan node so plans
+held by the serving cache skip compilation on warm executions; the
+interpreted path remains available (``compile_expressions=False``) as the
+differential-testing oracle.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+import threading
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.errors import ExecutionError, PlanError
+from repro.relational.compile import (
+    CompiledProgram,
+    compile_outputs,
+    compile_predicate,
+)
 from repro.relational.logical import (
     Aggregate,
     Filter,
@@ -27,10 +45,36 @@ from repro.relational.logical import (
 )
 from repro.storage.catalog import Catalog
 from repro.storage.column import Column, DataType
-from repro.storage.table import Table
+from repro.storage.table import Table, TableView
 
 # predict_executor(node, input_table) -> Table of the node's output columns.
 PredictExecutor = Callable[[Predict, Table], Table]
+
+
+class ExecStats:
+    """Per-execution counters for compiled-expression reuse.
+
+    Shared (thread-safely) by every Executor a QueryExecutor fans out to,
+    so chunk-parallel and per-partition runs aggregate into one view.
+    """
+
+    __slots__ = ("_lock", "programs_compiled", "programs_reused")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.programs_compiled = 0
+        self.programs_reused = 0
+
+    def record(self, compiled: bool) -> None:
+        with self._lock:
+            if compiled:
+                self.programs_compiled += 1
+            else:
+                self.programs_reused += 1
+
+    def __repr__(self):
+        return (f"ExecStats(compiled={self.programs_compiled}, "
+                f"reused={self.programs_reused})")
 
 
 class Executor:
@@ -39,21 +83,58 @@ class Executor:
     ``scan_restrictions`` optionally restricts named tables to one partition
     index or a row range — used for per-partition execution (data-induced
     optimization) and for chunk-parallel execution (DOP).
+    ``compile_expressions`` selects the compiled expression engine (default)
+    or the interpreted oracle.
     """
 
     def __init__(self, catalog: Catalog,
                  predict_executor: Optional[PredictExecutor] = None,
-                 scan_restrictions: Optional[Dict[str, object]] = None):
+                 scan_restrictions: Optional[Dict[str, object]] = None,
+                 compile_expressions: bool = True,
+                 exec_stats: Optional[ExecStats] = None):
         self.catalog = catalog
         self.predict_executor = predict_executor
         self.scan_restrictions = scan_restrictions or {}
+        self.compile_expressions = compile_expressions
+        self.exec_stats = exec_stats if exec_stats is not None else ExecStats()
 
     # ------------------------------------------------------------------
     def execute(self, plan: PlanNode) -> Table:
+        """Run the plan; the root is the final pipeline breaker."""
+        return self._run(plan).materialize()
+
+    def _run(self, plan: PlanNode) -> TableView:
         method = getattr(self, f"_exec_{type(plan).__name__.lower()}", None)
         if method is None:
             raise ExecutionError(f"no executor for operator {type(plan).__name__}")
-        return method(plan)
+        result = method(plan)
+        if isinstance(result, Table):
+            result = TableView(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Compiled-program cache (one program per plan node, stored on the
+    # node itself so plans kept warm by the serving PlanCache reuse it).
+    # Keyed by the child schema: reusing a plan object against a catalog
+    # whose columns changed type recompiles instead of silently running a
+    # program lowered for the old schema. Races between concurrent first
+    # executions are benign: programs are immutable and either winner is
+    # correct.
+    # ------------------------------------------------------------------
+    def _program_for(self, node: Union[Filter, Project],
+                     schema) -> CompiledProgram:
+        fingerprint = tuple(schema)
+        cached = node.__dict__.get("_compiled_program")
+        if cached is not None and cached[0] == fingerprint:
+            self.exec_stats.record(compiled=False)
+            return cached[1]
+        if isinstance(node, Filter):
+            program = compile_predicate(node.predicate, schema)
+        else:
+            program = compile_outputs(node.outputs, schema)
+        node._compiled_program = (fingerprint, program)
+        self.exec_stats.record(compiled=True)
+        return program
 
     # ------------------------------------------------------------------
     # Leaf
@@ -81,30 +162,38 @@ class Executor:
         return table.prefix(node.alias)
 
     # ------------------------------------------------------------------
-    # Row-preserving operators
+    # Row-preserving operators (selection-vector composition, no copies)
     # ------------------------------------------------------------------
-    def _exec_filter(self, node: Filter) -> Table:
-        table = self.execute(node.child)
-        keep = node.predicate.evaluate(table)
+    def _exec_filter(self, node: Filter) -> TableView:
+        view = self._run(node.child)
+        if self.compile_expressions:
+            keep = self._program_for(node, view.schema).run_single(view)
+        else:
+            keep = node.predicate.evaluate(view)
         if keep.dtype != np.bool_:
             raise ExecutionError("filter predicate did not evaluate to booleans")
-        return table.mask(keep)
+        return view.refine(keep)
 
     def _exec_project(self, node: Project) -> Table:
-        table = self.execute(node.child)
-        schema = table.schema
+        view = self._run(node.child)
         columns: List[Tuple[str, Column]] = []
-        for name, expr in node.outputs:
-            dtype = expr.output_dtype(schema)
-            columns.append((name, Column(expr.evaluate(table), dtype)))
+        if self.compile_expressions:
+            program = self._program_for(node, view.schema)
+            arrays = program.run(view)
+            for name, dtype in program.output_dtypes():
+                columns.append((name, Column(arrays[name], dtype)))
+        else:
+            schema = view.schema
+            for name, expr in node.outputs:
+                dtype = expr.output_dtype(schema)
+                columns.append((name, Column(expr.evaluate(view), dtype)))
         return Table(columns)
 
-    def _exec_limit(self, node: Limit) -> Table:
-        table = self.execute(node.child)
-        return table.slice(0, node.count)
+    def _exec_limit(self, node: Limit) -> TableView:
+        return self._run(node.child).head(node.count)
 
     def _exec_sort(self, node: Sort) -> Table:
-        table = self.execute(node.child)
+        table = self._run(node.child).materialize()
         if table.num_rows == 0:
             return table
         # np.lexsort sorts by the *last* key first, ascending; encode
@@ -122,11 +211,11 @@ class Executor:
         return table.take(order)
 
     # ------------------------------------------------------------------
-    # Join
+    # Join (both sides are pipeline breakers: build + probe gather once)
     # ------------------------------------------------------------------
     def _exec_join(self, node: Join) -> Table:
-        left = self.execute(node.left)
-        right = self.execute(node.right)
+        left = self._run(node.left).materialize()
+        right = self._run(node.right).materialize()
         left_codes = _composite_codes(left, right, node.left_keys, node.right_keys)
         left_idx, right_idx, unmatched = _join_indices(*left_codes, how=node.how)
         if node.how == "inner":
@@ -147,13 +236,14 @@ class Executor:
     # Aggregate
     # ------------------------------------------------------------------
     def _exec_aggregate(self, node: Aggregate) -> Table:
-        table = self.execute(node.child)
+        table = self._run(node.child).materialize()
         if not node.group_by:
             return _global_aggregate(table, node)
         return _grouped_aggregate(table, node)
 
     # ------------------------------------------------------------------
-    # Predict
+    # Predict (gathers only model inputs + kept columns; everything else
+    # in the child view is never copied)
     # ------------------------------------------------------------------
     def _exec_predict(self, node: Predict) -> Table:
         if self.predict_executor is None:
@@ -161,10 +251,12 @@ class Executor:
                 "plan contains a Predict operator but no predict executor "
                 "was supplied (use repro.core.session.RavenSession)"
             )
-        table = self.execute(node.child)
-        outputs = self.predict_executor(node, table)
+        view = self._run(node.child)
         kept_names = (node.keep_columns if node.keep_columns is not None
-                      else table.column_names)
+                      else view.column_names)
+        needed = set(kept_names) | set(node.input_mapping.values())
+        table = view.materialize([n for n in view.column_names if n in needed])
+        outputs = self.predict_executor(node, table)
         columns = [(n, table.column(n)) for n in kept_names]
         for name, _, _ in node.output_columns:
             columns.append((name, outputs.column(name)))
@@ -321,6 +413,8 @@ def _grouped_aggregate(table: Table, node: Aggregate) -> Table:
 
 
 def execute(plan: PlanNode, catalog: Catalog,
-            predict_executor: Optional[PredictExecutor] = None) -> Table:
+            predict_executor: Optional[PredictExecutor] = None,
+            compile_expressions: bool = True) -> Table:
     """Convenience one-shot execution."""
-    return Executor(catalog, predict_executor).execute(plan)
+    return Executor(catalog, predict_executor,
+                    compile_expressions=compile_expressions).execute(plan)

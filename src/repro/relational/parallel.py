@@ -16,7 +16,7 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Tuple
 
-from repro.relational.executor import Executor, PredictExecutor
+from repro.relational.executor import ExecStats, Executor, PredictExecutor
 from repro.relational.logical import (
     Aggregate,
     Limit,
@@ -81,16 +81,26 @@ class ParallelExecutor:
     """
 
     def __init__(self, catalog: Catalog, dop: int = 1,
-                 predict_executor: Optional[PredictExecutor] = None):
+                 predict_executor: Optional[PredictExecutor] = None,
+                 compile_expressions: bool = True,
+                 exec_stats: Optional[ExecStats] = None):
         if dop < 1:
             raise ValueError("dop must be >= 1")
         self.catalog = catalog
         self.dop = dop
         self.predict_executor = predict_executor
+        self.compile_expressions = compile_expressions
+        self.exec_stats = exec_stats
+
+    def _make_executor(self, scan_restrictions=None) -> Executor:
+        return Executor(self.catalog, self.predict_executor,
+                        scan_restrictions=scan_restrictions,
+                        compile_expressions=self.compile_expressions,
+                        exec_stats=self.exec_stats)
 
     def execute(self, plan: PlanNode) -> Table:
         if self.dop == 1:
-            return Executor(self.catalog, self.predict_executor).execute(plan)
+            return self._make_executor().execute(plan)
 
         tail, body = split_serial_tail(plan)
         target = largest_scan(body, self.catalog)
@@ -99,17 +109,14 @@ class ParallelExecutor:
                          and target is not None
                          and node.table_name == target.table_name)
         if target is None or scan_count != 1:
-            return Executor(self.catalog, self.predict_executor).execute(plan)
+            return self._make_executor().execute(plan)
 
         num_rows = self.catalog.table(target.table_name).num_rows
         ranges = chunk_ranges(num_rows, self.dop)
 
         def run_chunk(row_range: Tuple[int, int]) -> Table:
-            executor = Executor(
-                self.catalog,
-                self.predict_executor,
-                scan_restrictions={target.table_name: row_range},
-            )
+            executor = self._make_executor(
+                scan_restrictions={target.table_name: row_range})
             return executor.execute(body)
 
         if len(ranges) == 1:

@@ -10,6 +10,13 @@ that away. The cache stores the fully optimized physical plan and its
   (:mod:`repro.serving.normalize`); and
 * the catalog versions of every table/model the query references.
 
+Concurrent misses for the same normalized key are **single-flighted**
+(:meth:`PlanCache.begin` / :meth:`PlanCache.join`): the first caller
+optimizes while the others wait on the in-flight entry instead of
+redundantly re-optimizing; coalesced waits are counted in
+``stats.coalesced``. If the owner fails (or its entry is invalidated
+before publication) waiters fall back to optimizing independently.
+
 Entries are invalidated two ways, belt and braces:
 
 * **eagerly** — the cache subscribes to catalog change notifications
@@ -40,12 +47,19 @@ DependencyVersions = Dict[Tuple[str, str], int]
 
 @dataclass
 class PlanCacheStats:
-    """Hit/miss/eviction/invalidation counters (monotonic)."""
+    """Hit/miss/eviction/invalidation counters (monotonic).
+
+    ``coalesced`` counts misses that waited on a concurrent in-flight
+    optimization of the same key and received its entry instead of
+    optimizing redundantly; they are deliberately not counted as hits
+    (or misses), so ``hit_rate`` reflects genuinely warm lookups.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    coalesced: int = 0
 
     @property
     def lookups(self) -> int:
@@ -56,8 +70,8 @@ class PlanCacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def snapshot(self) -> "PlanCacheStats":
-        return PlanCacheStats(self.hits, self.misses,
-                              self.evictions, self.invalidations)
+        return PlanCacheStats(self.hits, self.misses, self.evictions,
+                              self.invalidations, self.coalesced)
 
 
 @dataclass
@@ -96,6 +110,16 @@ def dependency_versions(catalog: Catalog, tables, models) -> DependencyVersions:
     return versions
 
 
+class Flight:
+    """An in-flight optimization of one cache key (single-flight token)."""
+
+    __slots__ = ("key", "event")
+
+    def __init__(self, key: Tuple):
+        self.key = key
+        self.event = threading.Event()
+
+
 class PlanCache:
     """Thread-safe LRU cache of optimized plans for one session."""
 
@@ -106,32 +130,104 @@ class PlanCache:
         self._entries: "OrderedDict[Tuple, CachedPlan]" = OrderedDict()
         self._lock = threading.RLock()
         self._stats = PlanCacheStats()
+        self._flights: Dict[Tuple, Flight] = {}
 
     # ------------------------------------------------------------------
+    def _lookup_locked(self, key: Tuple, catalog: Catalog) -> Optional[CachedPlan]:
+        """Version-validated lookup; counts hits/invalidations, not misses."""
+        entry = self._entries.get(key)
+        if entry is not None and not entry.is_current(catalog):
+            # Stale insert that raced a catalog mutation.
+            del self._entries[key]
+            self._stats.invalidations += 1
+            return None
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        self._stats.hits += 1
+        entry.hits += 1
+        return entry
+
     def get(self, key: Tuple, catalog: Catalog) -> Optional[CachedPlan]:
         """Look up a plan; validates dependency versions before returning."""
         with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None and not entry.is_current(catalog):
-                # Stale insert that raced a catalog mutation.
-                del self._entries[key]
-                self._stats.invalidations += 1
-                entry = None
+            entry = self._lookup_locked(key, catalog)
             if entry is None:
                 self._stats.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._stats.hits += 1
-            entry.hits += 1
             return entry
 
     def put(self, key: Tuple, entry: CachedPlan) -> None:
         with self._lock:
-            self._entries[key] = entry
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self._stats.evictions += 1
+            self._put_locked(key, entry)
+
+    def _put_locked(self, key: Tuple, entry: CachedPlan) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Single-flight misses
+    # ------------------------------------------------------------------
+    def begin(self, key: Tuple, catalog: Catalog
+              ) -> Tuple[Optional[CachedPlan], Optional[Flight], bool]:
+        """Single-flight lookup: ``(entry, flight, owner)``.
+
+        * ``entry`` is not None — cache hit, nothing else to do.
+        * ``owner`` True — this caller must optimize, then call
+          :meth:`complete` with the entry (or None on failure).
+        * otherwise — another caller is already optimizing this key; wait
+          via :meth:`join`.
+        """
+        with self._lock:
+            entry = self._lookup_locked(key, catalog)
+            if entry is not None:
+                return entry, None, False
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = Flight(key)
+                self._flights[key] = flight
+                self._stats.misses += 1
+                return None, flight, True
+            return None, flight, False
+
+    def complete(self, flight: Flight, entry: Optional[CachedPlan]) -> None:
+        """Publish the owner's result (entry=None on failure) and wake waiters."""
+        with self._lock:
+            if entry is not None:
+                self._put_locked(flight.key, entry)
+            if self._flights.get(flight.key) is flight:
+                del self._flights[flight.key]
+        flight.event.set()
+
+    def join(self, flight: Flight, catalog: Catalog,
+             timeout: Optional[float] = None) -> Optional[CachedPlan]:
+        """Wait for an in-flight optimization and fetch its entry.
+
+        A waiter that receives the owner's entry counts as ``coalesced``
+        (a miss whose optimization was saved) — deliberately *not* as a
+        hit, so cold concurrent bursts don't inflate ``hit_rate``.
+        Returns None when the owner failed, timed out, or its entry was
+        already invalidated; that waiter re-optimizes independently and
+        counts as an ordinary miss.
+        """
+        finished = flight.event.wait(timeout)
+        with self._lock:
+            entry = None
+            if finished:
+                entry = self._entries.get(flight.key)
+                if entry is not None and not entry.is_current(catalog):
+                    del self._entries[flight.key]
+                    self._stats.invalidations += 1
+                    entry = None
+            if entry is None:
+                self._stats.misses += 1
+                return None
+            self._entries.move_to_end(flight.key)
+            self._stats.coalesced += 1
+            entry.hits += 1
+            return entry
 
     # ------------------------------------------------------------------
     # Invalidation
@@ -180,4 +276,4 @@ class PlanCache:
         s = self._stats
         return (f"PlanCache(size={len(self)}/{self.capacity}, hits={s.hits}, "
                 f"misses={s.misses}, evictions={s.evictions}, "
-                f"invalidations={s.invalidations})")
+                f"invalidations={s.invalidations}, coalesced={s.coalesced})")

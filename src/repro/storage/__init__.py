@@ -9,7 +9,7 @@ from repro.storage.catalog import Catalog, ModelEntry, TableEntry
 from repro.storage.column import Column, DataType, concat_columns
 from repro.storage.partition import Partition, PartitionedTable
 from repro.storage.statistics import ColumnStats, TableStats
-from repro.storage.table import Schema, Table, concat_tables
+from repro.storage.table import Schema, Table, TableView, concat_tables
 
 __all__ = [
     "Catalog",
@@ -21,6 +21,7 @@ __all__ = [
     "PartitionedTable",
     "Schema",
     "Table",
+    "TableView",
     "TableEntry",
     "TableStats",
     "concat_columns",

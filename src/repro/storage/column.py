@@ -199,6 +199,16 @@ class Column:
     def nbytes(self) -> int:
         return int(self.data.nbytes)
 
+    def shares_data_with(self, other: "Column | np.ndarray") -> bool:
+        """True when both columns alias the same buffer (zero-copy view).
+
+        ``slice`` and table-level ``select``/``rename``/``prefix`` keep
+        sharing; ``take``/``mask``/``concat`` allocate. The late-
+        materialization tests assert sharing through Filter pipelines.
+        """
+        data = other.data if isinstance(other, Column) else other
+        return bool(np.shares_memory(self.data, data))
+
 
 def concat_columns(columns: Sequence[Column]) -> Column:
     """Concatenate several same-typed columns into one."""

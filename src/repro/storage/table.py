@@ -206,6 +206,91 @@ class Table:
         return Table([(f"{prefix}.{n}", c) for n, c in self.columns.items()])
 
 
+class TableView:
+    """A zero-copy, row-subset view over a :class:`Table`.
+
+    Late materialization for the relational executor: a ``Filter``
+    produces a selection vector (int64 row indices) carried alongside the
+    shared underlying columns instead of copying every column. Downstream
+    operators compose selections (:meth:`refine`) or evaluate expressions
+    against the view (it exposes the same ``array``/``num_rows``/
+    ``schema`` surface :meth:`Expression.evaluate` needs); the gather
+    happens once per referenced column, at a pipeline breaker
+    (:meth:`materialize`) or on first access (memoized).
+    """
+
+    __slots__ = ("table", "selection", "_gathered")
+
+    def __init__(self, table: Table, selection: np.ndarray | None = None):
+        self.table = table
+        # None = all rows; else absolute int64 row indices into `table`.
+        self.selection = selection
+        self._gathered: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        if self.selection is None:
+            return self.table.num_rows
+        return len(self.selection)
+
+    @property
+    def schema(self) -> Schema:
+        return self.table.schema
+
+    @property
+    def column_names(self) -> List[str]:
+        return self.table.column_names
+
+    def __repr__(self) -> str:
+        kind = "all rows" if self.selection is None else "selected"
+        return (f"TableView({self.num_rows}/{self.table.num_rows} rows "
+                f"[{kind}] x {self.table.num_columns} cols)")
+
+    # ------------------------------------------------------------------
+    def array(self, name: str) -> np.ndarray:
+        """The column restricted to this view's rows (gather memoized)."""
+        if self.selection is None:
+            return self.table.array(name)
+        cached = self._gathered.get(name)
+        if cached is None:
+            cached = self.table.array(name)[self.selection]
+            self._gathered[name] = cached
+        return cached
+
+    def column(self, name: str) -> Column:
+        return Column(self.array(name), self.table.column(name).dtype)
+
+    # ------------------------------------------------------------------
+    def refine(self, keep: np.ndarray) -> "TableView":
+        """Compose a boolean mask over *this view's* rows (zero-copy)."""
+        if keep.dtype != np.bool_:
+            raise SchemaError("refine requires a boolean array")
+        if self.selection is None:
+            return TableView(self.table, np.nonzero(keep)[0])
+        return TableView(self.table, self.selection[keep])
+
+    def head(self, n: int) -> "TableView":
+        """First ``n`` view rows; selection slicing stays zero-copy."""
+        if self.selection is None:
+            return TableView(self.table.slice(0, min(n, self.num_rows)))
+        return TableView(self.table, self.selection[:n])
+
+    def materialize(self, names: Sequence[str] | None = None) -> Table:
+        """Gather into a contiguous Table (pipeline breakers only).
+
+        With ``selection is None`` and no column subset this is the
+        underlying table itself — no copies at all.
+        """
+        if names is None:
+            if self.selection is None:
+                return self.table
+            names = self.table.column_names
+        elif self.selection is None:
+            return self.table.select(names)
+        return Table([(name, self.column(name)) for name in names])
+
+
 def concat_tables(tables: Sequence[Table]) -> Table:
     """Vertically concatenate tables with identical schemas."""
     if not tables:
