@@ -21,8 +21,9 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-versus-measured experiment index.
 """
 
+from repro.adaptive import FeedbackStore, OperatorProfile
 from repro.core.optimizer import OptimizationReport, RavenOptimizer
-from repro.core.session import RavenSession, RunStats
+from repro.core.session import RavenSession, RunStats, ServingStats
 from repro.errors import RavenError
 from repro.serving import MicroBatcher, PlanCache
 from repro.storage.catalog import Catalog
@@ -32,7 +33,8 @@ from repro.storage.table import Schema, Table
 __version__ = "0.1.0"
 
 __all__ = [
-    "Catalog", "MicroBatcher", "OptimizationReport", "PartitionedTable",
-    "PlanCache", "RavenError", "RavenOptimizer", "RavenSession", "RunStats",
-    "Schema", "Table", "__version__",
+    "Catalog", "FeedbackStore", "MicroBatcher", "OperatorProfile",
+    "OptimizationReport", "PartitionedTable", "PlanCache", "RavenError",
+    "RavenOptimizer", "RavenSession", "RunStats", "Schema", "ServingStats",
+    "Table", "__version__",
 ]

@@ -1,0 +1,234 @@
+"""The selectivity/cost feedback store: what execution taught us.
+
+Aggregates :class:`~repro.adaptive.profile.OperatorProfile` trees under
+structural fingerprints into per-operator observations the optimizer can
+consume:
+
+* **selectivity** — EWMA of rows-out/rows-in per call (filters and their
+  individual conjuncts);
+* **cardinality** — EWMA of output rows (join-side sizing);
+* **cost** — EWMA of self-seconds per input row (conjunct ordering by
+  rank, predict batch sizing);
+* **drift** — a fast EWMA tracks recent behaviour, a slow EWMA the
+  long-run average; their divergence (:meth:`FeedbackStore.drift_score`)
+  signals that what the optimizer assumed no longer matches what the
+  executor sees.
+
+Per-*model* predict costs are recorded separately (by the
+:class:`~repro.core.executor.PredictRuntime`, which times the actual
+model invocation) so the serving micro-batcher and the predict
+batch-sizing pass share one number that excludes relational overhead.
+
+All methods are thread-safe; the store is shared by every execution of a
+session and consulted by the optimizer under the plan cache's
+single-flight, so reads must never block on a long write (updates are a
+few float ops under a lock).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adaptive.profile import OperatorProfile
+
+# EWMA smoothing: alpha for the responsive estimate and the long-run one.
+FAST_ALPHA = 0.5
+SLOW_ALPHA = 0.05
+# Selectivity drift below this absolute fast-vs-slow divergence is noise.
+DRIFT_THRESHOLD = 0.25
+# Observations required before a drift signal is trusted.
+MIN_DRIFT_CALLS = 8
+# LRU bounds: serving traffic with churning literals mints a new set of
+# fingerprints per literal signature; a long-lived session must not pin
+# feedback for every plan it ever ran. Eviction only costs re-learning.
+MAX_OPERATOR_ENTRIES = 4_096
+MAX_MODEL_ENTRIES = 512
+
+
+def _ewma(current: Optional[float], observed: float, alpha: float) -> float:
+    if current is None:
+        return observed
+    return alpha * observed + (1.0 - alpha) * current
+
+
+@dataclass
+class OperatorFeedback:
+    """Accumulated observations for one structural fingerprint."""
+
+    operator: str
+    calls: int = 0
+    rows_in: int = 0
+    rows_out: int = 0
+    seconds: float = 0.0
+    selectivity_fast: Optional[float] = None
+    selectivity_slow: Optional[float] = None
+    rows_out_ewma: Optional[float] = None
+    seconds_per_row_ewma: Optional[float] = None
+
+    def observe(self, rows_in: int, rows_out: int, seconds: float,
+                calls: int = 1) -> None:
+        """Fold one execution's (possibly multi-call) totals in.
+
+        A chunk-parallel or per-partition execution runs an operator
+        ``calls`` times; broadcast-join dimension subtrees are re-read
+        once *per chunk*, so summed rows would overcount them by the
+        degree of parallelism. The cardinality EWMA therefore tracks the
+        **per-call mean** — the size each operator instance actually saw,
+        which is also what the build-side and batch-sizing decisions need
+        (each chunk's join/predict runs against per-call inputs).
+        Selectivity and per-row cost are ratios of the totals, which are
+        scale-free either way.
+        """
+        calls = max(1, calls)
+        self.calls += calls
+        self.rows_in += rows_in
+        self.rows_out += rows_out
+        self.seconds += seconds
+        self.rows_out_ewma = _ewma(self.rows_out_ewma, rows_out / calls,
+                                   FAST_ALPHA)
+        if rows_in > 0:
+            selectivity = rows_out / rows_in
+            self.selectivity_fast = _ewma(self.selectivity_fast, selectivity,
+                                          FAST_ALPHA)
+            self.selectivity_slow = _ewma(self.selectivity_slow, selectivity,
+                                          SLOW_ALPHA)
+            self.seconds_per_row_ewma = _ewma(self.seconds_per_row_ewma,
+                                              seconds / rows_in, FAST_ALPHA)
+
+    @property
+    def drift(self) -> float:
+        """Absolute divergence between recent and long-run selectivity."""
+        if self.selectivity_fast is None or self.selectivity_slow is None:
+            return 0.0
+        return abs(self.selectivity_fast - self.selectivity_slow)
+
+
+@dataclass
+class _ModelCost:
+    calls: int = 0
+    rows: int = 0
+    seconds: float = 0.0
+    seconds_per_row_ewma: Optional[float] = None
+
+
+class FeedbackStore:
+    """Thread-safe aggregate of execution feedback for one session."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._operators: "OrderedDict[str, OperatorFeedback]" = OrderedDict()
+        self._models: "OrderedDict[str, _ModelCost]" = OrderedDict()
+        self.profiles_recorded = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_profile(self, root: OperatorProfile) -> None:
+        """Fold one execution's profile tree into the store."""
+        with self._lock:
+            self.profiles_recorded += 1
+            for profile in root.walk():
+                if profile.calls == 0:
+                    continue
+                self._observe(profile.fingerprint, profile.operator,
+                              profile.rows_in, profile.rows_out,
+                              profile.self_seconds, profile.calls)
+                for part in profile.conjuncts:
+                    self._observe(part.fingerprint,
+                                  f"conjunct:{part.expression}",
+                                  part.rows_in, part.rows_out, part.seconds,
+                                  part.calls)
+
+    def _observe(self, fingerprint: str, operator: str, rows_in: int,
+                 rows_out: int, seconds: float, calls: int) -> None:
+        feedback = self._operators.get(fingerprint)
+        if feedback is None:
+            feedback = self._operators[fingerprint] = OperatorFeedback(
+                operator=operator)
+            while len(self._operators) > MAX_OPERATOR_ENTRIES:
+                self._operators.popitem(last=False)
+        else:
+            self._operators.move_to_end(fingerprint)
+        feedback.observe(rows_in, rows_out, seconds, calls)
+
+    def record_predict(self, model_name: str, rows: int,
+                       seconds: float) -> None:
+        """Record one model invocation (called by the predict runtime)."""
+        if rows <= 0:
+            return
+        with self._lock:
+            cost = self._models.get(model_name)
+            if cost is None:
+                cost = self._models[model_name] = _ModelCost()
+                while len(self._models) > MAX_MODEL_ENTRIES:
+                    self._models.popitem(last=False)
+            else:
+                self._models.move_to_end(model_name)
+            cost.calls += 1
+            cost.rows += rows
+            cost.seconds += seconds
+            cost.seconds_per_row_ewma = _ewma(cost.seconds_per_row_ewma,
+                                              seconds / rows, FAST_ALPHA)
+
+    # ------------------------------------------------------------------
+    # Lookups (None = no observations yet; optimizer falls back to static)
+    # ------------------------------------------------------------------
+    def observed(self, fingerprint: str) -> Optional[OperatorFeedback]:
+        with self._lock:
+            return self._operators.get(fingerprint)
+
+    def selectivity(self, fingerprint: str) -> Optional[float]:
+        feedback = self.observed(fingerprint)
+        return feedback.selectivity_fast if feedback else None
+
+    def rows_out(self, fingerprint: str) -> Optional[float]:
+        feedback = self.observed(fingerprint)
+        return feedback.rows_out_ewma if feedback else None
+
+    def seconds_per_row(self, fingerprint: str) -> Optional[float]:
+        feedback = self.observed(fingerprint)
+        return feedback.seconds_per_row_ewma if feedback else None
+
+    def predict_per_row_cost(self, model_name: str) -> Optional[float]:
+        with self._lock:
+            cost = self._models.get(model_name)
+            return cost.seconds_per_row_ewma if cost else None
+
+    def drift_score(self, fingerprint: str) -> float:
+        """Drift for one fingerprint; 0.0 until enough calls accumulated."""
+        feedback = self.observed(fingerprint)
+        if feedback is None or feedback.calls < MIN_DRIFT_CALLS:
+            return 0.0
+        return feedback.drift
+
+    def has_drifted(self, fingerprint: str,
+                    threshold: float = DRIFT_THRESHOLD) -> bool:
+        return self.drift_score(fingerprint) > threshold
+
+    def consume_drift(self, fingerprint: str) -> None:
+        """Acknowledge a drift signal after acting on it.
+
+        Re-optimization responds to the *recent* behaviour (the fast
+        EWMA), so once a drifted plan has been marked stale the long-run
+        average restarts from there — otherwise the slow EWMA's long
+        convergence tail would keep re-marking the replacement plan on
+        every call even when nothing changes anymore.
+        """
+        with self._lock:
+            feedback = self._operators.get(fingerprint)
+            if feedback is not None and feedback.selectivity_fast is not None:
+                feedback.selectivity_slow = feedback.selectivity_fast
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._operators)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (f"FeedbackStore(operators={len(self._operators)}, "
+                    f"models={len(self._models)}, "
+                    f"profiles={self.profiles_recorded})")

@@ -1,0 +1,290 @@
+"""Runtime operator profiling: rows-in/rows-out and wall time per operator.
+
+The optimizer never sees a single run today: it estimates selectivities
+and costs statically, and a misestimate is baked into the cached plan
+forever. This module closes half of that loop — it observes. The
+relational executor, when handed a :class:`PlanProfiler`, records every
+operator's output cardinality and inclusive wall time (and, for filters
+over conjunctions, the per-conjunct cascade) into per-node accumulators;
+:meth:`PlanProfiler.profile_tree` assembles them into an
+:class:`OperatorProfile` tree mirroring the plan, which is attached to
+:class:`~repro.core.session.RunStats` and fed to the
+:class:`~repro.adaptive.feedback.FeedbackStore`.
+
+Profiles aggregate under **structural fingerprints** rather than object
+identities, so observations survive re-optimization: a re-optimized plan
+whose subtrees are structurally identical keeps accumulating into the
+same feedback keys. Fingerprints are cached on the plan nodes themselves
+(the same per-plan-node caching pattern the compiled-expression programs
+use), deliberately ignore pure execution annotations (join build side,
+predict batch size), and treat AND-conjunctions as order-insensitive —
+reordering a filter's conjuncts must not orphan its history.
+
+Overhead is two ``perf_counter()`` calls and one dict update per operator
+per execution — noise next to any vectorized kernel.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.relational.expressions import Expression, conjuncts
+from repro.relational.logical import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    PlanNode,
+    Predict,
+    Project,
+    Scan,
+    Sort,
+)
+
+
+def _digest(text: str) -> str:
+    return hashlib.md5(text.encode("utf-8")).hexdigest()[:16]
+
+
+def expression_fingerprint(expr: Expression) -> str:
+    """Deterministic structural fingerprint of a scalar expression.
+
+    Built from the recursive ``repr`` (which every expression type renders
+    canonically), digested so keys stay short even for MLtoSQL trees.
+    """
+    return _digest(repr(expr))
+
+
+def plan_fingerprint(node: PlanNode) -> str:
+    """Deterministic structural fingerprint of a plan subtree.
+
+    Cached on the node (``node._adaptive_fp``). Two properties matter for
+    feedback aggregation:
+
+    * execution *annotations* (``Join.build_side``, ``Predict.batch_rows``)
+      are excluded — they change how a node runs, not what it computes;
+    * a Filter's conjuncts hash as a sorted multiset — ``a AND b`` and
+      ``b AND a`` share one feedback history, so reordering by observed
+      selectivity does not reset the observations that drove it.
+    """
+    cached = node.__dict__.get("_adaptive_fp")
+    if cached is not None:
+        return cached
+    child_fps = [plan_fingerprint(child) for child in node.children()]
+    if isinstance(node, Scan):
+        cols = "*" if node.columns is None else ",".join(node.columns)
+        payload = f"Scan:{node.table_name}:{node.alias}:{cols}"
+    elif isinstance(node, Filter):
+        parts = sorted(repr(p) for p in conjuncts(node.predicate))
+        payload = "Filter:" + "&".join(parts)
+    elif isinstance(node, Project):
+        payload = "Project:" + ";".join(f"{n}={e!r}" for n, e in node.outputs)
+    elif isinstance(node, Join):
+        keys = ",".join(f"{lk}={rk}" for lk, rk
+                        in zip(node.left_keys, node.right_keys))
+        payload = f"Join:{node.how}:{keys}"
+    elif isinstance(node, Predict):
+        mapping = ",".join(f"{k}->{v}"
+                           for k, v in sorted(node.input_mapping.items()))
+        outs = ",".join(f"{n}:{g}:{d.name}" for n, g, d in node.output_columns)
+        kept = "*" if node.keep_columns is None else ",".join(node.keep_columns)
+        payload = (f"Predict:{node.model_name}:{node.mode.value}:"
+                   f"{mapping}:{outs}:{kept}")
+    elif isinstance(node, Aggregate):
+        aggs = ",".join(f"{s.name}={s.func}({s.column})"
+                        for s in node.aggregates)
+        payload = f"Aggregate:{','.join(node.group_by)}:{aggs}"
+    elif isinstance(node, Sort):
+        keys = ",".join(f"{c}:{asc}" for c, asc in node.keys)
+        payload = f"Sort:{keys}"
+    elif isinstance(node, Limit):
+        payload = f"Limit:{node.count}"
+    else:  # unknown operator: fall back to its label
+        payload = node._label()
+    fingerprint = _digest(payload + "|" + "|".join(child_fps))
+    node._adaptive_fp = fingerprint
+    return fingerprint
+
+
+def conjunct_fingerprint(filter_node: Filter, index: int) -> str:
+    """Fingerprint of one conjunct of a Filter's predicate.
+
+    Keyed by the child subtree plus the conjunct expression — *not* by the
+    conjunct's position — so observed selectivities survive reordering.
+    Cached per node (the conjunct list is immutable once planned).
+    """
+    cached = filter_node.__dict__.get("_adaptive_conjunct_fps")
+    if cached is None:
+        child_fp = plan_fingerprint(filter_node.child)
+        cached = tuple(
+            _digest(f"conjunct:{child_fp}:{part!r}")
+            for part in conjuncts(filter_node.predicate)
+        )
+        filter_node._adaptive_conjunct_fps = cached
+    return cached[index]
+
+
+# ---------------------------------------------------------------------------
+# Profile data model
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ConjunctProfile:
+    """Observed behaviour of one conjunct within a filter cascade."""
+
+    expression: str
+    fingerprint: str
+    calls: int = 0
+    rows_in: int = 0
+    rows_out: int = 0
+    seconds: float = 0.0
+
+    @property
+    def selectivity(self) -> Optional[float]:
+        if self.rows_in <= 0:
+            return None
+        return self.rows_out / self.rows_in
+
+
+@dataclass
+class OperatorProfile:
+    """One plan operator's aggregated runtime observations.
+
+    ``seconds`` is inclusive (operator + its inputs); :attr:`self_seconds`
+    subtracts the children, which is what per-operator cost models want.
+    ``rows_in`` is the sum of the children's output cardinalities (for a
+    Scan, the rows it read).
+    """
+
+    operator: str
+    fingerprint: str
+    calls: int = 0
+    rows_in: int = 0
+    rows_out: int = 0
+    seconds: float = 0.0
+    children: List["OperatorProfile"] = field(default_factory=list)
+    conjuncts: List[ConjunctProfile] = field(default_factory=list)
+
+    @property
+    def self_seconds(self) -> float:
+        return max(0.0, self.seconds - sum(c.seconds for c in self.children))
+
+    @property
+    def selectivity(self) -> Optional[float]:
+        if self.rows_in <= 0:
+            return None
+        return self.rows_out / self.rows_in
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        sel = (f" sel={self.selectivity:.3f}"
+               if self.selectivity is not None else "")
+        lines = [f"{pad}{self.operator}: {self.rows_in}->{self.rows_out} rows"
+                 f"{sel} {self.self_seconds * 1e3:.2f}ms"]
+        for part in self.conjuncts:
+            psel = f"{part.selectivity:.3f}" if part.selectivity is not None \
+                else "?"
+            lines.append(f"{pad}  [conjunct sel={psel} "
+                         f"{part.seconds * 1e3:.2f}ms] {part.expression}")
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+class _NodeAccumulator:
+    __slots__ = ("calls", "rows_out", "seconds")
+
+    def __init__(self):
+        self.calls = 0
+        self.rows_out = 0
+        self.seconds = 0.0
+
+
+class PlanProfiler:
+    """Thread-safe per-execution collector of operator observations.
+
+    One profiler is shared by every :class:`~repro.relational.executor.
+    Executor` a query fans out to (chunk-parallel, per-partition), so the
+    assembled tree aggregates the whole execution. Accumulators key on
+    node identity (the plan object outlives the run); fingerprints are
+    resolved once, at :meth:`profile_tree` time.
+    """
+
+    __slots__ = ("_lock", "_nodes", "_conjuncts")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._nodes: Dict[int, _NodeAccumulator] = {}
+        self._conjuncts: Dict[Tuple[int, int], ConjunctProfile] = {}
+
+    # ------------------------------------------------------------------
+    def record_operator(self, node: PlanNode, rows_out: int,
+                        seconds: float) -> None:
+        with self._lock:
+            acc = self._nodes.get(id(node))
+            if acc is None:
+                acc = self._nodes[id(node)] = _NodeAccumulator()
+            acc.calls += 1
+            acc.rows_out += rows_out
+            acc.seconds += seconds
+
+    def record_conjunct(self, node: Filter, index: int, expression: Expression,
+                        rows_in: int, rows_out: int, seconds: float) -> None:
+        key = (id(node), index)
+        with self._lock:
+            part = self._conjuncts.get(key)
+            if part is None:
+                part = self._conjuncts[key] = ConjunctProfile(
+                    expression=repr(expression),
+                    fingerprint=conjunct_fingerprint(node, index),
+                )
+            part.calls += 1
+            part.rows_in += rows_in
+            part.rows_out += rows_out
+            part.seconds += seconds
+
+    # ------------------------------------------------------------------
+    def profile_tree(self, plan: PlanNode) -> OperatorProfile:
+        """Assemble the profile tree for ``plan`` from the accumulators.
+
+        Nodes that never executed (e.g. a serial tail applied over an
+        already-materialized table) appear with zero calls, so the tree
+        always mirrors the full plan shape.
+        """
+        with self._lock:
+            nodes = dict(self._nodes)
+            conjunct_parts = dict(self._conjuncts)
+        return self._assemble(plan, nodes, conjunct_parts)
+
+    def _assemble(self, node: PlanNode, nodes, conjunct_parts
+                  ) -> OperatorProfile:
+        children = [self._assemble(child, nodes, conjunct_parts)
+                    for child in node.children()]
+        acc = nodes.get(id(node))
+        profile = OperatorProfile(
+            operator=node._label(),
+            fingerprint=plan_fingerprint(node),
+            calls=acc.calls if acc else 0,
+            rows_out=acc.rows_out if acc else 0,
+            seconds=acc.seconds if acc else 0.0,
+            children=children,
+        )
+        if children:
+            profile.rows_in = sum(child.rows_out for child in children)
+        else:
+            # Leaves (scans) read what they emit.
+            profile.rows_in = profile.rows_out
+        if isinstance(node, Filter):
+            parts = [part for (node_id, _), part
+                     in sorted(conjunct_parts.items())
+                     if node_id == id(node)]
+            profile.conjuncts = parts
+        return profile

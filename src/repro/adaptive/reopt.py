@@ -1,0 +1,260 @@
+"""Feedback-driven plan re-optimization.
+
+The optimizer's static rules position operators; these passes *tune* them
+from what the :class:`~repro.adaptive.feedback.FeedbackStore` observed:
+
+* **Conjunct reordering** — a Filter over ``a AND b AND c`` is evaluated
+  as a short-circuit cascade by the compiled expression engine, so the
+  order of conjuncts decides how many rows each one touches. The pass
+  orders conjuncts by the classic rank criterion
+  ``(selectivity - 1) / cost`` (most filtering power per unit cost
+  first), using observed per-conjunct selectivities and per-row costs.
+* **Join build side** — the vectorized equi-join sorts one side and
+  probes it with the other; sorting the observably smaller side is
+  cheaper. The pass annotates ``Join.build_side`` from observed child
+  cardinalities (the executor restores the default output order, so the
+  annotation is invisible in results).
+* **Predict batch sizing** — batched model invocation amortizes dispatch
+  overhead; the per-model per-row cost observed by the runtime sizes
+  ``Predict.batch_rows`` so one batch lands near a target wall time
+  instead of the static default.
+
+Every decision carries **hysteresis** (reordering needs a >10% modeled
+win, build-side swaps need a 4x cardinality gap and persist until it
+narrows below 2.5x, batch sizes snap to powers of two), so a warmed plan
+reaches a fixed point instead of oscillating — the session re-optimizes
+a cached plan only while :func:`apply_feedback` still wants to change
+it, or when a fingerprint's EWMA drift signal fires.
+
+All three rewrites are *result-preserving*: AND is commutative (and
+reordering is refused when any conjunct could raise on rows another one
+guards), the build-side join restores probe-major row order bit-for-bit,
+and model outputs are row-independent across batch boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.adaptive.feedback import FeedbackStore
+from repro.adaptive.profile import conjunct_fingerprint, plan_fingerprint
+from repro.relational.expressions import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    InList,
+    Literal,
+    UnaryOp,
+    conjunction,
+    conjuncts,
+)
+from repro.relational.logical import (
+    Filter,
+    Join,
+    PlanNode,
+    Predict,
+    PredictMode,
+    transform_plan,
+)
+
+# Reordering must model a real win before touching a plan (hysteresis).
+REORDER_MIN_GAIN = 0.10
+# Build-side swaps pay an output re-sort; require a clear size gap to
+# swap, and keep the swap until the gap narrows well below it (a
+# hysteresis band, so an EWMA hovering at the boundary cannot thrash the
+# plan cache with re-optimizations).
+BUILD_SIDE_RATIO = 4.0
+BUILD_SIDE_KEEP_RATIO = 2.5
+# Predict batch sizing: aim one batch at this wall time, snapped to a
+# power of two within [MIN, MAX] rows.
+TARGET_BATCH_SECONDS = 0.25
+MIN_BATCH_ROWS = 2_048
+MAX_BATCH_ROWS = 262_144
+
+_TOTAL_BINARY_OPS = frozenset(
+    {"+", "-", "*", "and", "or", "=", "<>", "<", "<=", ">", ">="})
+
+
+def _is_total(expr: Expression) -> bool:
+    """True when evaluating ``expr`` on any row can never raise or warn.
+
+    Division, casts and library functions (``log``, ``sqrt``, ...) are
+    partial: a sibling conjunct may be guarding their domain, so filters
+    containing them keep their written order.
+    """
+    if isinstance(expr, (ColumnRef, Literal)):
+        return True
+    if isinstance(expr, BinaryOp):
+        return (expr.op in _TOTAL_BINARY_OPS
+                and _is_total(expr.left) and _is_total(expr.right))
+    if isinstance(expr, UnaryOp):
+        return _is_total(expr.operand)
+    if isinstance(expr, Between):
+        return all(_is_total(child) for child in expr.children())
+    if isinstance(expr, InList):
+        return all(_is_total(child) for child in expr.children())
+    return False
+
+
+def _cascade_cost(order: List[int], selectivities: List[float],
+                  costs: List[float]) -> float:
+    """Modeled per-row cost of evaluating conjuncts in ``order``.
+
+    Conjunct ``k`` only touches the rows every earlier conjunct kept
+    (independence assumption — the same one textbook selectivity
+    estimation makes).
+    """
+    total = 0.0
+    active = 1.0
+    for index in order:
+        total += costs[index] * active
+        active *= selectivities[index]
+    return total
+
+
+def plan_conjunct_order(filter_node: Filter, store: FeedbackStore
+                        ) -> Optional[List[int]]:
+    """The conjunct order feedback prefers, or None to keep the plan's.
+
+    Requires observed selectivity for *every* conjunct (a partially
+    observed filter keeps its order), refuses non-total conjuncts, and
+    applies rank ordering ``(s - 1) / c`` with a minimum modeled gain.
+    """
+    parts = conjuncts(filter_node.predicate)
+    if len(parts) < 2:
+        return None
+    if not all(_is_total(part) for part in parts):
+        return None
+    selectivities: List[float] = []
+    costs: List[float] = []
+    for index in range(len(parts)):
+        feedback = store.observed(conjunct_fingerprint(filter_node, index))
+        if feedback is None or feedback.selectivity_fast is None:
+            return None
+        selectivities.append(min(1.0, max(0.0, feedback.selectivity_fast)))
+        costs.append(feedback.seconds_per_row_ewma or 1.0)
+    # Normalize costs so the rank is scale-free; guard degenerate zeros.
+    mean_cost = sum(costs) / len(costs)
+    if mean_cost <= 0.0:
+        costs = [1.0] * len(parts)
+    else:
+        costs = [max(cost / mean_cost, 1e-6) for cost in costs]
+    ranks = sorted(range(len(parts)),
+                   key=lambda i: ((selectivities[i] - 1.0) / costs[i], i))
+    if ranks == list(range(len(parts))):
+        return None
+    current = _cascade_cost(list(range(len(parts))), selectivities, costs)
+    best = _cascade_cost(ranks, selectivities, costs)
+    if best >= current * (1.0 - REORDER_MIN_GAIN):
+        return None  # not worth disturbing a warmed plan
+    return ranks
+
+
+def plan_build_side(join: Join, store: FeedbackStore) -> Optional[str]:
+    """``"left"`` when the left input is observably much smaller.
+
+    Without observations for both children the plan's current choice is
+    kept. Swapping needs a :data:`BUILD_SIDE_RATIO` gap; an existing swap
+    is kept until the gap narrows below :data:`BUILD_SIDE_KEEP_RATIO`.
+    """
+    left_rows = store.rows_out(plan_fingerprint(join.left))
+    right_rows = store.rows_out(plan_fingerprint(join.right))
+    if left_rows is None or right_rows is None:
+        return join.build_side  # no evidence either way: keep the plan's
+    ratio = (BUILD_SIDE_KEEP_RATIO if join.build_side == "left"
+             else BUILD_SIDE_RATIO)
+    if left_rows * ratio < right_rows:
+        return "left"
+    return None
+
+
+def plan_batch_rows(predict: Predict, store: FeedbackStore,
+                    default_batch_rows: int) -> Optional[int]:
+    """Feedback-derived batch size for a Predict node, or None for default.
+
+    Only annotates when batching actually occurs (observed input exceeds
+    the default batch size) and the derived size — snapped to a power of
+    two — differs from the default. Applies to the ML-runtime mode; the
+    tensor runtimes execute whole inputs at once.
+    """
+    if predict.mode is not PredictMode.ML_RUNTIME:
+        return None
+    per_row = store.predict_per_row_cost(predict.model_name)
+    rows = store.rows_out(plan_fingerprint(predict.child))
+    if per_row is None or rows is None or per_row <= 0.0:
+        return None
+    if rows <= default_batch_rows:
+        return None  # a single batch already; sizing is moot
+    desired = TARGET_BATCH_SECONDS / per_row
+    snapped = 1 << max(0, round(float(desired)).bit_length() - 1)
+    snapped = max(MIN_BATCH_ROWS, min(MAX_BATCH_ROWS, snapped))
+    if snapped == default_batch_rows:
+        return None
+    return snapped
+
+
+# ---------------------------------------------------------------------------
+# The pass
+# ---------------------------------------------------------------------------
+
+def apply_feedback(plan: PlanNode, store: FeedbackStore,
+                   default_batch_rows: int
+                   ) -> Tuple[PlanNode, bool, Dict[str, object]]:
+    """Rewrite ``plan`` using observed feedback.
+
+    Returns ``(plan, changed, info)``; ``changed`` is False when every
+    decision matched what the plan already encodes — which is also the
+    session's staleness test for cached plans (a warmed plan goes stale
+    exactly when this pass would now produce something different).
+    """
+    info: Dict[str, object] = {
+        "filters_reordered": 0,
+        "joins_build_left": 0,
+        "predicts_batch_sized": 0,
+    }
+
+    def rewrite(node: PlanNode) -> Optional[PlanNode]:
+        if isinstance(node, Filter):
+            order = plan_conjunct_order(node, store)
+            if order is None:
+                return None
+            parts = conjuncts(node.predicate)
+            info["filters_reordered"] += 1
+            predicate = conjunction([parts[index] for index in order])
+            return Filter(node.child, predicate)
+        if isinstance(node, Join):
+            desired = plan_build_side(node, store)
+            if desired == node.build_side:
+                return None
+            if desired != "left" and node.build_side is None:
+                return None
+            info["joins_build_left"] += int(desired == "left")
+            rebuilt = Join(node.left, node.right, node.left_keys,
+                           node.right_keys, node.how, build_side=desired)
+            return rebuilt
+        if isinstance(node, Predict):
+            desired = plan_batch_rows(node, store, default_batch_rows)
+            if desired == node.batch_rows:
+                return None
+            info["predicts_batch_sized"] += int(desired is not None)
+            return node.replace(batch_rows=desired)
+        return None
+
+    rewritten = transform_plan(plan, rewrite)
+    # Every decision that differs from the plan returns a replacement
+    # node, so object identity is the complete change test (it also
+    # catches annotation *reverts*, which increment no counter).
+    return rewritten, rewritten is not plan, info
+
+
+def feedback_divergence(plan: PlanNode, store: FeedbackStore,
+                        default_batch_rows: int) -> bool:
+    """Would :func:`apply_feedback` change ``plan`` right now?
+
+    The session calls this after each profiled execution of a cached
+    plan; True marks the cache entry stale so the next lookup re-optimizes
+    through the single-flight path.
+    """
+    _, changed, _ = apply_feedback(plan, store, default_batch_rows)
+    return changed

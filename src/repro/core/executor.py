@@ -58,6 +58,11 @@ class PredictRuntime:
         self.gpu_time_adjustment = 0.0
         # Partition index installed by per-partition execution (None = global).
         self.active_partition: Optional[int] = None
+        # Optional repro.adaptive.feedback.FeedbackStore: every model
+        # invocation records (rows, seconds) so the optimizer can size
+        # predict batches and the micro-batcher can size coalesced
+        # batches from observed per-row cost. Shared by for_call() clones.
+        self.feedback = None
 
     def for_call(self) -> "PredictRuntime":
         """A per-call view of this runtime for concurrent execution.
@@ -80,14 +85,20 @@ class PredictRuntime:
                   for name, column in node.input_mapping.items()}
         wanted = [graph_output for _, graph_output, _ in node.output_columns]
 
+        started = time.perf_counter()
         if node.mode is PredictMode.ML_RUNTIME:
-            outputs = self.run_graph_batched(graph, inputs, wanted, table.num_rows)
+            outputs = self.run_graph_batched(graph, inputs, wanted,
+                                             table.num_rows,
+                                             batch_size=node.batch_rows)
         elif node.mode is PredictMode.DNN_CPU:
             outputs = self._run_tensor(self._tensor_cpu, graph, inputs, wanted)
         elif node.mode is PredictMode.DNN_GPU:
             outputs = self._run_tensor(self._tensor_gpu, graph, inputs, wanted)
         else:  # pragma: no cover - exhaustive over PredictMode
             raise ExecutionError(f"unknown predict mode: {node.mode}")
+        if self.feedback is not None:
+            self.feedback.record_predict(node.model_name, table.num_rows,
+                                         time.perf_counter() - started)
 
         columns = []
         for exposed, graph_output, dtype in node.output_columns:
@@ -126,18 +137,23 @@ class PredictRuntime:
         return session
 
     def run_graph_batched(self, graph: Graph, inputs: Dict[str, np.ndarray],
-                          wanted: List[str], num_rows: int
+                          wanted: List[str], num_rows: int,
+                          batch_size: Optional[int] = None
                           ) -> Dict[str, np.ndarray]:
         """Batched evaluation, like Spark's vectorized UDF (10k-row batches).
 
         Also the execution path of the serving micro-batcher, which stacks
-        coalesced requests and calls this once.
+        coalesced requests and calls this once. ``batch_size`` overrides
+        the runtime default — feedback-driven batch sizing passes the
+        Predict node's annotation through here. Chunk boundaries never
+        change results: every graph operator is row-independent.
         """
         session = self.session_for(graph)
-        if num_rows <= self.batch_size:
+        batch_size = batch_size or self.batch_size
+        if num_rows <= batch_size:
             return session.run(inputs, wanted)
         pieces: Dict[str, List[np.ndarray]] = {name: [] for name in wanted}
-        n_chunks = -(-num_rows // self.batch_size)
+        n_chunks = -(-num_rows // batch_size)
         for start, stop in chunk_ranges(num_rows, n_chunks):
             batch = {name: array[start:stop] for name, array in inputs.items()}
             result = session.run(batch, wanted)
@@ -185,7 +201,8 @@ class QueryExecutor:
     """
 
     def __init__(self, catalog: Catalog, runtime: Optional[PredictRuntime] = None,
-                 dop: int = 1, compile_expressions: bool = True):
+                 dop: int = 1, compile_expressions: bool = True,
+                 profiler=None):
         self.catalog = catalog
         self.runtime = runtime or PredictRuntime()
         self.dop = dop
@@ -193,12 +210,15 @@ class QueryExecutor:
         # Aggregated over every executor this query fans out to
         # (chunk-parallel, per-partition); read by RunStats.
         self.exec_stats = ExecStats()
+        # Optional PlanProfiler, likewise shared across the fan-out.
+        self.profiler = profiler
 
     def _make_executor(self, scan_restrictions=None) -> Executor:
         return Executor(self.catalog, self.runtime,
                         scan_restrictions=scan_restrictions,
                         compile_expressions=self.compile_expressions,
-                        exec_stats=self.exec_stats)
+                        exec_stats=self.exec_stats,
+                        profiler=self.profiler)
 
     def execute(self, plan: PlanNode) -> Table:
         from repro.relational.skipping import plan_partition_restrictions
@@ -214,6 +234,7 @@ class QueryExecutor:
                 self.catalog, self.dop, self.runtime,
                 compile_expressions=self.compile_expressions,
                 exec_stats=self.exec_stats,
+                profiler=self.profiler,
             ).execute(plan)
         return self._execute_per_partition(plan, partitioned, skip)
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.adaptive.reopt import apply_feedback
 from repro.core.rules import (
     DataInducedOptimization,
     MLtoDNN,
@@ -61,7 +62,13 @@ class RavenOptimizer:
       strings ``"none"`` / ``"sql"`` / ``"dnn"`` to force a choice;
       default is the paper's generated rule;
     * ``gpu_available`` — routes MLtoDNN to the (simulated) GPU when True,
-      to the CPU tensor runtime otherwise.
+      to the CPU tensor runtime otherwise;
+    * ``feedback`` — a :class:`repro.adaptive.feedback.FeedbackStore`;
+      when given, the feedback-driven passes run last (conjunct
+      reordering, join build side, predict batch sizing), tuning the plan
+      to observed selectivities and costs. ``predict_batch_rows`` is the
+      runtime's default predict batch size, the baseline batch sizing
+      compares against.
     """
 
     def __init__(self, catalog: Catalog,
@@ -70,8 +77,12 @@ class RavenOptimizer:
                  enable_projection_pushdown: Optional[bool] = None,
                  enable_data_induced: bool = True,
                  strategy: Optional[OptimizationStrategy | str] = None,
-                 gpu_available: bool = False):
+                 gpu_available: bool = False,
+                 feedback=None,
+                 predict_batch_rows: int = 10_000):
         self.catalog = catalog
+        self.feedback = feedback
+        self.predict_batch_rows = predict_batch_rows
         self.enable_predicate_pruning = (
             enable_cross if enable_predicate_pruning is None
             else enable_predicate_pruning)
@@ -112,6 +123,13 @@ class RavenOptimizer:
         plan = self._apply_strategy(plan, report)
         # Harvest columns freed by the rules (pushdown below joins, scans).
         plan = self._relational.optimize(plan)
+        if self.feedback is not None:
+            # Feedback-driven tuning runs last, over the final operator
+            # shapes, so the fingerprints it consults match what the
+            # executor will profile.
+            plan, changed, info = apply_feedback(plan, self.feedback,
+                                                 self.predict_batch_rows)
+            report.record("adaptive_feedback", changed, info)
         return plan, report
 
     # ------------------------------------------------------------------

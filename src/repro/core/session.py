@@ -23,7 +23,18 @@ execution.
 Serving: sessions are safe for concurrent ``sql()`` calls, keep a
 normalized plan cache so repeated queries skip parse/bind/optimize
 (see :mod:`repro.serving`), and expose :meth:`RavenSession.serve` to
-dispatch a batch of queries over a thread pool.
+dispatch a batch of queries over a thread pool (with optional bounded
+pending-query depth — backpressure).
+
+Adaptive execution (on by default): every run is profiled into an
+:class:`~repro.adaptive.profile.OperatorProfile` tree (see
+``RunStats.operator_profiles``), observations aggregate in the session's
+:class:`~repro.adaptive.feedback.FeedbackStore`, the optimizer consumes
+them (conjunct reordering, join build side, predict batch sizing), and a
+cached plan that execution feedback has drifted away from is marked
+stale and re-optimized through the plan cache's single-flight path
+(``plan_cache.stats.reoptimizations``). ``RavenSession(adaptive=False)``
+turns the whole loop off and must produce bit-for-bit identical results.
 """
 
 from __future__ import annotations
@@ -34,12 +45,15 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.adaptive.feedback import FeedbackStore
+from repro.adaptive.profile import OperatorProfile, PlanProfiler
+from repro.adaptive.reopt import feedback_divergence
 from repro.core.binder import Binder
 from repro.core.executor import DEFAULT_BATCH_SIZE, PredictRuntime, QueryExecutor
 from repro.core.optimizer import OptimizationReport, RavenOptimizer
 from repro.core.parser import parse
 from repro.core.strategies import OptimizationStrategy
-from repro.errors import CatalogError
+from repro.errors import BackpressureError, CatalogError
 from repro.learn.pipeline import Pipeline
 from repro.onnxlite.convert import convert_pipeline
 from repro.onnxlite.graph import Graph
@@ -62,23 +76,54 @@ class RunStats:
     Returned per-call by :meth:`RavenSession.sql_with_stats` so concurrent
     callers each see their own numbers; ``session.last_run`` holds the most
     recently finished call's stats as a best-effort alias.
+
+    ``optimize_seconds`` vs ``execute_seconds`` is the per-call
+    optimize/execute breakdown (``wall_seconds`` remains the measured
+    execution wall time, identical to ``execute_seconds``, for backwards
+    compatibility); ``operator_profiles`` carries the adaptive
+    subsystem's per-operator observations for profiled (adaptive) runs.
     """
 
     wall_seconds: float
     gpu_adjustment_seconds: float = 0.0
     optimize_seconds: float = 0.0
+    execute_seconds: float = 0.0
     report: Optional[OptimizationReport] = None
     cache_hit: bool = False
     # Compiled-expression engine reuse: programs compiled this call vs
     # fetched from the per-plan cache (warm hits report reused only).
     programs_compiled: int = 0
     programs_reused: int = 0
+    # Per-operator runtime profile of this call (None for adaptive=False).
+    operator_profiles: Optional[OperatorProfile] = None
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end time of the call: optimize (or cache lookup) plus
+        execution."""
+        return self.optimize_seconds + self.execute_seconds
 
     @property
     def adjusted_seconds(self) -> float:
         """Wall time with measured simulated-device time replaced by the
         modeled device time (what a GPU-equipped run would have taken)."""
         return self.wall_seconds + self.gpu_adjustment_seconds
+
+
+@dataclass
+class ServingStats:
+    """Counters for :meth:`RavenSession.serve` traffic (monotonic).
+
+    ``rejected`` counts queries refused by the ``"raise"`` backpressure
+    policy when the bounded pending-query depth was full.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+
+    def snapshot(self) -> "ServingStats":
+        return ServingStats(self.submitted, self.completed, self.rejected)
 
 
 class RavenSession:
@@ -94,12 +139,22 @@ class RavenSession:
                  dop: int = 1,
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  plan_cache: Union[PlanCache, bool] = True,
-                 compile_expressions: bool = True):
+                 compile_expressions: bool = True,
+                 adaptive: bool = True,
+                 feedback: Optional[FeedbackStore] = None):
         self.catalog = Catalog()
         # Compiled expression engine (CSE + masked CASE routing) for
         # Filter/Project evaluation; False selects the interpreted
         # np.select path (the differential-testing oracle).
         self.compile_expressions = compile_expressions
+        # Adaptive execution: profile every run, learn selectivities and
+        # costs in the FeedbackStore, re-optimize drifted cached plans.
+        # False disables the whole loop (the differential oracle for the
+        # adaptive path); results must be bit-for-bit identical.
+        self.adaptive = adaptive
+        self.feedback: Optional[FeedbackStore] = (
+            feedback if feedback is not None
+            else (FeedbackStore() if adaptive else None))
         self.enable_cross = enable_optimizations if enable_cross is None \
             else enable_cross
         self.enable_data_induced = enable_optimizations \
@@ -109,7 +164,10 @@ class RavenSession:
         self.gpu_available = gpu_available
         self.dop = dop
         self.runtime = PredictRuntime(batch_size=batch_size, gpu_spec=gpu_spec)
+        if self.adaptive:
+            self.runtime.feedback = self.feedback
         self.last_run: Optional[RunStats] = None
+        self.serving_stats = ServingStats()
         # Normalized plan cache (on by default): repeated queries skip
         # parse/bind/optimize. Pass a PlanCache to control capacity, or
         # False to disable. Invalidation is wired to catalog mutations.
@@ -168,6 +226,8 @@ class RavenSession:
             enable_data_induced=self.enable_data_induced,
             strategy=self.strategy,
             gpu_available=self.gpu_available,
+            feedback=self.feedback if self.adaptive else None,
+            predict_batch_rows=self.runtime.batch_size,
         )
 
     def optimize(self, query: str):
@@ -183,7 +243,11 @@ class RavenSession:
         return self._optimizer().optimize(bound)
 
     def _plan_for(self, query: str):
-        """Resolve a query to (plan, report, cache_hit) through the cache.
+        """Resolve a query through the cache.
+
+        Returns ``(plan, report, cache_hit, key, entry)`` — ``key``/
+        ``entry`` are None when the cache is disabled; the adaptive
+        staleness check uses them after execution.
 
         Concurrent misses for the same normalized key are single-flighted:
         the first caller optimizes while the others wait on the in-flight
@@ -197,26 +261,26 @@ class RavenSession:
         """
         if self.plan_cache is None:
             plan, report = self.optimize(query)
-            return plan, report, False
+            return plan, report, False, None, None
         normalized = normalize_query(query)
         entry, flight, owner = self.plan_cache.begin(normalized.key, self.catalog)
         if entry is not None:
-            return entry.plan, entry.report, True
+            return entry.plan, entry.report, True, normalized.key, entry
         if not owner:
             entry = self.plan_cache.join(flight, self.catalog)
             if entry is not None:
-                return entry.plan, entry.report, True
+                return entry.plan, entry.report, True, normalized.key, entry
             # Owner failed or its entry was invalidated: optimize here.
             entry = self._optimize_to_entry(query, normalized)
             self.plan_cache.put(normalized.key, entry)
-            return entry.plan, entry.report, False
+            return entry.plan, entry.report, False, normalized.key, entry
         try:
             entry = self._optimize_to_entry(query, normalized)
         except BaseException:
             self.plan_cache.complete(flight, None)
             raise
         self.plan_cache.complete(flight, entry)
-        return entry.plan, entry.report, False
+        return entry.plan, entry.report, False, normalized.key, entry
 
     def _optimize_to_entry(self, query: str, normalized) -> CachedPlan:
         """Parse + optimize a query into a cache-ready entry."""
@@ -258,14 +322,50 @@ class RavenSession:
         Safe for concurrent use: stats are computed per call, never read
         back from shared session state. On a plan-cache hit
         ``stats.optimize_seconds`` is just the normalize+lookup time.
+
+        Adaptive sessions profile the execution, fold the observations
+        into the feedback store, and — when the feedback-driven passes
+        would now produce a different plan than the cached one — mark the
+        cache entry stale so the next call re-optimizes it (observable as
+        ``plan_cache.stats.reoptimizations``).
         """
         optimize_started = time.perf_counter()
-        plan, report, cache_hit = self._plan_for(query)
+        plan, report, cache_hit, key, entry = self._plan_for(query)
         optimize_seconds = time.perf_counter() - optimize_started
-        return self._execute(plan, report, optimize_seconds,
-                             cache_hit=cache_hit)
+        table, stats = self._execute(plan, report, optimize_seconds,
+                                     cache_hit=cache_hit)
+        if (entry is not None and self.adaptive
+                and stats.operator_profiles is not None
+                and self.plan_cache is not None):
+            # Stale = the feedback passes would now produce a different
+            # plan, or an operator's recent behaviour has drifted from
+            # its long-run average (EWMA drift signal) — either way the
+            # plan was optimized against assumptions execution no longer
+            # supports. A consumed drift signal is reset so the slow
+            # EWMA's convergence tail cannot keep re-marking the
+            # replacement plan call after call.
+            drifted = self._drifted_fingerprints(stats.operator_profiles)
+            if drifted or feedback_divergence(entry.plan, self.feedback,
+                                              self.runtime.batch_size):
+                self.plan_cache.mark_stale(key, entry)
+                for fingerprint in drifted:
+                    self.feedback.consume_drift(fingerprint)
+        return table, stats
 
-    def serve(self, queries: Iterable[str], workers: int = 4) -> List[Table]:
+    def _drifted_fingerprints(self, root: OperatorProfile) -> List[str]:
+        """Profiled operator/conjunct fingerprints tripping drift."""
+        drifted: List[str] = []
+        for profile in root.walk():
+            if self.feedback.has_drifted(profile.fingerprint):
+                drifted.append(profile.fingerprint)
+            for part in profile.conjuncts:
+                if self.feedback.has_drifted(part.fingerprint):
+                    drifted.append(part.fingerprint)
+        return drifted
+
+    def serve(self, queries: Iterable[str], workers: int = 4,
+              max_pending: Optional[int] = None,
+              backpressure: str = "block") -> List[Table]:
         """Execute a batch of queries concurrently; results keep order.
 
         Dispatches over a thread pool (numpy kernels release the GIL, so
@@ -273,20 +373,69 @@ class RavenSession:
         cache, and large scans additionally chunk-parallelize inside a
         worker when the session's ``dop`` > 1 (via
         :class:`repro.relational.parallel.ParallelExecutor`).
+
+        ``max_pending`` bounds the pending-query depth (submitted but not
+        yet finished). When the bound is reached, ``backpressure`` decides:
+        ``"block"`` stalls admission until a worker finishes (classic
+        queue backpressure), ``"raise"`` rejects the query with
+        :class:`~repro.errors.BackpressureError` and counts it in
+        ``serving_stats.rejected``.
         """
         return [table for table, _ in
-                self.serve_with_stats(queries, workers=workers)]
+                self.serve_with_stats(queries, workers=workers,
+                                      max_pending=max_pending,
+                                      backpressure=backpressure)]
 
-    def serve_with_stats(self, queries: Iterable[str], workers: int = 4
+    def serve_with_stats(self, queries: Iterable[str], workers: int = 4,
+                         max_pending: Optional[int] = None,
+                         backpressure: str = "block"
                          ) -> List[Tuple[Table, RunStats]]:
         """:meth:`serve`, returning ``(table, stats)`` per query in order."""
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if backpressure not in ("block", "raise"):
+            raise ValueError("backpressure must be 'block' or 'raise'")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
         queries = list(queries)
+        gate = (threading.BoundedSemaphore(max_pending)
+                if max_pending is not None else None)
+
+        def admit(query: str) -> None:
+            if gate is not None:
+                if backpressure == "block":
+                    gate.acquire()
+                elif not gate.acquire(blocking=False):
+                    with self._stats_lock:
+                        self.serving_stats.rejected += 1
+                    raise BackpressureError(
+                        f"pending-query depth {max_pending} exceeded "
+                        f"(policy='raise'): {query[:80]!r}"
+                    )
+            with self._stats_lock:
+                self.serving_stats.submitted += 1
+
+        def run_one(query: str) -> Tuple[Table, RunStats]:
+            try:
+                return self.sql_with_stats(query)
+            finally:
+                with self._stats_lock:
+                    self.serving_stats.completed += 1
+                if gate is not None:
+                    gate.release()
+
         if workers == 1 or len(queries) <= 1:
-            return [self.sql_with_stats(query) for query in queries]
+            results = []
+            for query in queries:
+                admit(query)
+                results.append(run_one(query))
+            return results
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(self.sql_with_stats, queries))
+            futures = []
+            for query in queries:
+                admit(query)  # backpressure applies *before* submission
+                futures.append(pool.submit(run_one, query))
+            return [future.result() for future in futures]
 
     def prepare(self, query: str) -> "PreparedQuery":
         """Optimize once, execute many times (offline optimization, §7.4).
@@ -311,21 +460,29 @@ class RavenSession:
         # program caches but keeps partition dispatch and GPU-time
         # accounting local, so concurrent calls never interleave state.
         runtime = self.runtime.for_call()
+        profiler = PlanProfiler() if self.adaptive else None
         executor = QueryExecutor(self.catalog, runtime, dop=self.dop,
-                                 compile_expressions=self.compile_expressions)
+                                 compile_expressions=self.compile_expressions,
+                                 profiler=profiler)
         started = time.perf_counter()
         result = executor.execute(plan)
         wall = time.perf_counter() - started
         with self._stats_lock:
             self.runtime.gpu_time_adjustment += runtime.gpu_time_adjustment
+        profiles: Optional[OperatorProfile] = None
+        if profiler is not None:
+            profiles = profiler.profile_tree(plan)
+            self.feedback.record_profile(profiles)
         stats = RunStats(
             wall_seconds=wall,
             gpu_adjustment_seconds=runtime.gpu_time_adjustment,
             optimize_seconds=optimize_seconds,
+            execute_seconds=wall,
             report=report,
             cache_hit=cache_hit,
             programs_compiled=executor.exec_stats.programs_compiled,
             programs_reused=executor.exec_stats.programs_reused,
+            operator_profiles=profiles,
         )
         self.last_run = stats
         return result, stats

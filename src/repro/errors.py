@@ -39,6 +39,11 @@ class PlanError(RavenError):
     """A logical plan is malformed or cannot be bound against the catalog."""
 
 
+class BackpressureError(RavenError):
+    """A serving request was rejected because the pending-query depth is
+    full and the backpressure policy is ``"raise"``."""
+
+
 class ExecutionError(RavenError):
     """A plan failed while executing."""
 

@@ -22,6 +22,7 @@ differential-testing oracle.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -32,6 +33,7 @@ from repro.relational.compile import (
     compile_outputs,
     compile_predicate,
 )
+from repro.relational.expressions import conjuncts
 from repro.relational.logical import (
     Aggregate,
     Filter,
@@ -85,18 +87,25 @@ class Executor:
     optimization) and for chunk-parallel execution (DOP).
     ``compile_expressions`` selects the compiled expression engine (default)
     or the interpreted oracle.
+    ``profiler`` (a :class:`repro.adaptive.profile.PlanProfiler`) turns on
+    per-operator runtime profiling: every operator records its output
+    cardinality and inclusive wall time, and conjunctive filters run as a
+    per-conjunct cascade so individual selectivities are observed. The
+    profiled execution is bit-for-bit identical to the unprofiled one.
     """
 
     def __init__(self, catalog: Catalog,
                  predict_executor: Optional[PredictExecutor] = None,
                  scan_restrictions: Optional[Dict[str, object]] = None,
                  compile_expressions: bool = True,
-                 exec_stats: Optional[ExecStats] = None):
+                 exec_stats: Optional[ExecStats] = None,
+                 profiler=None):
         self.catalog = catalog
         self.predict_executor = predict_executor
         self.scan_restrictions = scan_restrictions or {}
         self.compile_expressions = compile_expressions
         self.exec_stats = exec_stats if exec_stats is not None else ExecStats()
+        self.profiler = profiler
 
     # ------------------------------------------------------------------
     def execute(self, plan: PlanNode) -> Table:
@@ -107,9 +116,17 @@ class Executor:
         method = getattr(self, f"_exec_{type(plan).__name__.lower()}", None)
         if method is None:
             raise ExecutionError(f"no executor for operator {type(plan).__name__}")
+        if self.profiler is None:
+            result = method(plan)
+            if isinstance(result, Table):
+                result = TableView(result)
+            return result
+        started = time.perf_counter()
         result = method(plan)
         if isinstance(result, Table):
             result = TableView(result)
+        self.profiler.record_operator(plan, result.num_rows,
+                                      time.perf_counter() - started)
         return result
 
     # ------------------------------------------------------------------
@@ -166,6 +183,13 @@ class Executor:
     # ------------------------------------------------------------------
     def _exec_filter(self, node: Filter) -> TableView:
         view = self._run(node.child)
+        if self.profiler is not None:
+            parts = node.__dict__.get("_adaptive_conjuncts")
+            if parts is None:
+                parts = conjuncts(node.predicate)
+                node._adaptive_conjuncts = parts
+            if len(parts) > 1:
+                return self._exec_filter_cascade(node, view, parts)
         if self.compile_expressions:
             keep = self._program_for(node, view.schema).run_single(view)
         else:
@@ -173,6 +197,49 @@ class Executor:
         if keep.dtype != np.bool_:
             raise ExecutionError("filter predicate did not evaluate to booleans")
         return view.refine(keep)
+
+    def _exec_filter_cascade(self, node: Filter, view: TableView,
+                             parts) -> TableView:
+        """Profiled conjunctive filter: one refine per conjunct.
+
+        Semantically identical to evaluating the whole conjunction (AND of
+        the masks); later conjuncts only see earlier survivors, exactly
+        like the compiled engine's short-circuit AND — so guarded
+        expressions stay guarded and the kept rows are bit-for-bit the
+        same. The per-conjunct selectivities and costs feed the
+        FeedbackStore's conjunct-ordering decisions.
+        """
+        programs = (self._conjunct_programs(node, parts, view.schema)
+                    if self.compile_expressions else None)
+        for index, part in enumerate(parts):
+            rows_in = view.num_rows
+            started = time.perf_counter()
+            if programs is not None:
+                keep = programs[index].run_single(view)
+            else:
+                keep = part.evaluate(view)
+            if keep.dtype != np.bool_:
+                raise ExecutionError(
+                    "filter predicate did not evaluate to booleans")
+            view = view.refine(keep)
+            self.profiler.record_conjunct(node, index, part, rows_in,
+                                          view.num_rows,
+                                          time.perf_counter() - started)
+        return view
+
+    def _conjunct_programs(self, node: Filter, parts,
+                           schema) -> List[CompiledProgram]:
+        """Per-conjunct compiled programs, cached on the node like
+        :meth:`_program_for` (counted once per filter in exec stats)."""
+        fingerprint = tuple(schema)
+        cached = node.__dict__.get("_conjunct_programs")
+        if cached is not None and cached[0] == fingerprint:
+            self.exec_stats.record(compiled=False)
+            return cached[1]
+        programs = [compile_predicate(part, schema) for part in parts]
+        node._conjunct_programs = (fingerprint, programs)
+        self.exec_stats.record(compiled=True)
+        return programs
 
     def _exec_project(self, node: Project) -> Table:
         view = self._run(node.child)
@@ -216,8 +283,9 @@ class Executor:
     def _exec_join(self, node: Join) -> Table:
         left = self._run(node.left).materialize()
         right = self._run(node.right).materialize()
-        left_codes = _composite_codes(left, right, node.left_keys, node.right_keys)
-        left_idx, right_idx, unmatched = _join_indices(*left_codes, how=node.how)
+        codes = _composite_codes(left, right, node.left_keys, node.right_keys)
+        left_idx, right_idx, unmatched = _join_indices(
+            *codes, how=node.how, build=node.build_side or "right")
         if node.how == "inner":
             out_left = left.take(left_idx)
             out_right = right.take(right_idx)
@@ -291,12 +359,22 @@ def _composite_codes(left: Table, right: Table,
 
 
 def _join_indices(left_codes: np.ndarray, right_codes: np.ndarray,
-                  how: str) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+                  how: str, build: str = "right"
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Vectorized sorted-probe equi-join.
 
     Returns (left_idx, right_idx, unmatched_left_idx); matched pairs keep the
     left relation's row order (stable, like a streaming hash probe).
+
+    ``build`` selects which side gets sorted (the analogue of a hash
+    join's build side): the default sorts the right side and probes with
+    the left; ``build="left"`` — chosen by feedback-driven re-optimization
+    when the left input is observably much smaller — sorts the left side,
+    probes with the right, and restores the left-major output order, so
+    both variants produce bit-for-bit identical results.
     """
+    if build == "left":
+        return _join_indices_build_left(left_codes, right_codes, how)
     order = np.argsort(right_codes, kind="stable")
     sorted_right = right_codes[order]
     starts = np.searchsorted(sorted_right, left_codes, side="left")
@@ -312,6 +390,43 @@ def _join_indices(left_codes: np.ndarray, right_codes: np.ndarray,
     else:
         right_idx = np.asarray([], dtype=np.int64)
     unmatched = np.nonzero(counts == 0)[0] if how == "left" else np.asarray([], dtype=np.int64)
+    return left_idx, right_idx, unmatched
+
+
+def _join_indices_build_left(left_codes: np.ndarray, right_codes: np.ndarray,
+                             how: str
+                             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sorted-probe join building (sorting) the left side.
+
+    Pairs are generated probe-major (per right row, its left matches in
+    ascending left order) and then stably re-sorted by left index; for a
+    fixed left row the ties keep their generation order — ascending right
+    index — which is exactly the order the build-right variant emits.
+    """
+    order = np.argsort(left_codes, kind="stable")
+    sorted_left = left_codes[order]
+    starts = np.searchsorted(sorted_left, right_codes, side="left")
+    ends = np.searchsorted(sorted_left, right_codes, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    gen_right = np.repeat(np.arange(len(right_codes)), counts)
+    if total:
+        cum = np.cumsum(counts)
+        intra = np.arange(total) - np.repeat(cum - counts, counts)
+        left_pos = np.repeat(starts, counts) + intra
+        gen_left = order[left_pos]
+        resort = np.argsort(gen_left, kind="stable")
+        left_idx = gen_left[resort]
+        right_idx = gen_right[resort]
+    else:
+        left_idx = np.asarray([], dtype=np.int64)
+        right_idx = np.asarray([], dtype=np.int64)
+    if how == "left":
+        matched = np.zeros(len(left_codes), dtype=np.bool_)
+        matched[left_idx] = True
+        unmatched = np.nonzero(~matched)[0]
+    else:
+        unmatched = np.asarray([], dtype=np.int64)
     return left_idx, right_idx, unmatched
 
 

@@ -135,27 +135,37 @@ class Project(PlanNode):
 
 
 class Join(PlanNode):
-    """Equi-join on key column lists (inner or left outer)."""
+    """Equi-join on key column lists (inner or left outer).
+
+    ``build_side`` is a pure execution annotation (set by feedback-driven
+    re-optimization): the executor sorts the annotated side and probes it
+    with the other, restoring the default left-major output order either
+    way. ``None`` means the default (build on the right).
+    """
 
     def __init__(self, left: PlanNode, right: PlanNode,
                  left_keys: Sequence[str], right_keys: Sequence[str],
-                 how: str = "inner"):
+                 how: str = "inner", build_side: Optional[str] = None):
         if len(left_keys) != len(right_keys) or not left_keys:
             raise PlanError("join needs matching non-empty key lists")
         if how not in ("inner", "left"):
             raise PlanError(f"unsupported join type: {how!r}")
+        if build_side not in (None, "left", "right"):
+            raise PlanError(f"unsupported build side: {build_side!r}")
         self.left = left
         self.right = right
         self.left_keys = list(left_keys)
         self.right_keys = list(right_keys)
         self.how = how
+        self.build_side = build_side
 
     def children(self):
         return (self.left, self.right)
 
     def with_children(self, children):
         left, right = children
-        return Join(left, right, self.left_keys, self.right_keys, self.how)
+        return Join(left, right, self.left_keys, self.right_keys, self.how,
+                    self.build_side)
 
     def output_schema(self, catalog: Catalog) -> Schema:
         left_schema = self.left.output_schema(catalog)
@@ -168,7 +178,8 @@ class Join(PlanNode):
     def _label(self):
         keys = ", ".join(f"{lk}={rk}"
                          for lk, rk in zip(self.left_keys, self.right_keys))
-        return f"Join[{self.how}]({keys})"
+        build = f", build={self.build_side}" if self.build_side else ""
+        return f"Join[{self.how}]({keys}{build})"
 
 
 @dataclass(frozen=True)
@@ -300,6 +311,8 @@ class Predict(PlanNode):
     mode: physical runtime annotation set by runtime selection.
     per_partition_graphs: optional partition-specialized graphs installed by
         the data-induced optimization (paper §4.2).
+    batch_rows: optional execution annotation (feedback-driven predict
+        batch sizing); None uses the runtime's default batch size.
     """
 
     def __init__(self, child: PlanNode, model_name: str, graph: object,
@@ -307,7 +320,8 @@ class Predict(PlanNode):
                  output_columns: Sequence[Tuple[str, str, DataType]],
                  keep_columns: Optional[Sequence[str]] = None,
                  mode: PredictMode = PredictMode.ML_RUNTIME,
-                 per_partition_graphs: Optional[List[object]] = None):
+                 per_partition_graphs: Optional[List[object]] = None,
+                 batch_rows: Optional[int] = None):
         self.child = child
         self.model_name = model_name
         self.graph = graph
@@ -316,6 +330,7 @@ class Predict(PlanNode):
         self.keep_columns = list(keep_columns) if keep_columns is not None else None
         self.mode = mode
         self.per_partition_graphs = per_partition_graphs
+        self.batch_rows = batch_rows
 
     def children(self):
         return (self.child,)
@@ -324,13 +339,14 @@ class Predict(PlanNode):
         (child,) = children
         return Predict(child, self.model_name, self.graph, self.input_mapping,
                        self.output_columns, self.keep_columns, self.mode,
-                       self.per_partition_graphs)
+                       self.per_partition_graphs, self.batch_rows)
 
     def replace(self, **updates) -> "Predict":
         """Copy with selected attributes replaced (rules use this)."""
         node = Predict(self.child, self.model_name, self.graph,
                        self.input_mapping, self.output_columns,
-                       self.keep_columns, self.mode, self.per_partition_graphs)
+                       self.keep_columns, self.mode, self.per_partition_graphs,
+                       self.batch_rows)
         for key, value in updates.items():
             if not hasattr(node, key):
                 raise PlanError(f"Predict has no attribute {key!r}")

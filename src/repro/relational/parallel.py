@@ -83,7 +83,8 @@ class ParallelExecutor:
     def __init__(self, catalog: Catalog, dop: int = 1,
                  predict_executor: Optional[PredictExecutor] = None,
                  compile_expressions: bool = True,
-                 exec_stats: Optional[ExecStats] = None):
+                 exec_stats: Optional[ExecStats] = None,
+                 profiler=None):
         if dop < 1:
             raise ValueError("dop must be >= 1")
         self.catalog = catalog
@@ -91,12 +92,16 @@ class ParallelExecutor:
         self.predict_executor = predict_executor
         self.compile_expressions = compile_expressions
         self.exec_stats = exec_stats
+        # Shared (thread-safe) profiler: chunk executions aggregate into
+        # one per-node accumulator, so the profile covers the whole query.
+        self.profiler = profiler
 
     def _make_executor(self, scan_restrictions=None) -> Executor:
         return Executor(self.catalog, self.predict_executor,
                         scan_restrictions=scan_restrictions,
                         compile_expressions=self.compile_expressions,
-                        exec_stats=self.exec_stats)
+                        exec_stats=self.exec_stats,
+                        profiler=self.profiler)
 
     def execute(self, plan: PlanNode) -> Table:
         if self.dop == 1:

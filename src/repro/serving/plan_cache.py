@@ -60,6 +60,9 @@ class PlanCacheStats:
     evictions: int = 0
     invalidations: int = 0
     coalesced: int = 0
+    # Entries dropped because execution feedback diverged from the plan
+    # (adaptive re-optimization through the single-flight miss path).
+    reoptimizations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -71,7 +74,8 @@ class PlanCacheStats:
 
     def snapshot(self) -> "PlanCacheStats":
         return PlanCacheStats(self.hits, self.misses, self.evictions,
-                              self.invalidations, self.coalesced)
+                              self.invalidations, self.coalesced,
+                              self.reoptimizations)
 
 
 @dataclass
@@ -230,6 +234,33 @@ class PlanCache:
             return entry
 
     # ------------------------------------------------------------------
+    # Adaptive staleness
+    # ------------------------------------------------------------------
+    def mark_stale(self, key: Tuple,
+                   entry: Optional[CachedPlan] = None) -> bool:
+        """Drop an entry whose plan no longer matches execution feedback.
+
+        Called by the session when the adaptive subsystem detects drift
+        (the feedback-driven passes would now produce a different plan).
+        The next lookup for the key misses and re-optimizes through the
+        ordinary single-flight path — with the feedback store warm, the
+        replacement plan reflects the observed behaviour. Counted in
+        ``stats.reoptimizations``.
+
+        When ``entry`` is given, only that exact entry is dropped: a
+        concurrent execution of an already-replaced plan must not evict
+        the fresh re-optimized entry that superseded it. Returns False
+        when nothing was dropped (a concurrent call won the race).
+        """
+        with self._lock:
+            current = self._entries.get(key)
+            if current is None or (entry is not None and current is not entry):
+                return False
+            del self._entries[key]
+            self._stats.reoptimizations += 1
+            return True
+
+    # ------------------------------------------------------------------
     # Invalidation
     # ------------------------------------------------------------------
     def invalidate(self, kind: Optional[str] = None,
@@ -276,4 +307,5 @@ class PlanCache:
         s = self._stats
         return (f"PlanCache(size={len(self)}/{self.capacity}, hits={s.hits}, "
                 f"misses={s.misses}, evictions={s.evictions}, "
-                f"invalidations={s.invalidations}, coalesced={s.coalesced})")
+                f"invalidations={s.invalidations}, coalesced={s.coalesced}, "
+                f"reoptimizations={s.reoptimizations})")

@@ -168,6 +168,109 @@ class TestPlanCache:
 
 
 # ---------------------------------------------------------------------------
+# Single-flight racing eviction / invalidation
+# ---------------------------------------------------------------------------
+
+class TestSingleFlightRaces:
+    """An in-flight optimization's key can be evicted or invalidated
+    before the owner publishes; the cache must stay consistent."""
+
+    @staticmethod
+    def _entry(catalog, tables=frozenset(), plan="plan"):
+        from repro.serving import CachedPlan, dependency_versions
+        return CachedPlan(
+            template="q", params=(), plan=plan, report=None,
+            tables=frozenset(tables),
+            versions=dependency_versions(catalog, tables, set()))
+
+    def test_owner_completes_after_invalidation(self, patients_table):
+        from repro.serving.plan_cache import PlanCache
+        from repro.storage.catalog import Catalog
+        catalog = Catalog()
+        catalog.add_table("t", patients_table)
+        cache = PlanCache()
+        cache.attach(catalog)
+        key = ("q", ())
+        entry = self._entry(catalog, {"t"})
+        hit, flight, owner = cache.begin(key, catalog)
+        assert hit is None and owner
+        # DDL lands while the owner is still optimizing: the entry's
+        # recorded versions are now stale.
+        catalog.add_table("t", patients_table, replace=True)
+        cache.complete(flight, entry)
+        # The published entry must not be served: the version check on
+        # lookup discards it.
+        assert cache.get(key, catalog) is None
+        assert cache.stats.invalidations >= 1
+        assert len(cache) == 0
+
+    def test_waiter_joins_after_owner_entry_invalidated(self, patients_table):
+        from repro.serving.plan_cache import PlanCache
+        from repro.storage.catalog import Catalog
+        catalog = Catalog()
+        catalog.add_table("t", patients_table)
+        cache = PlanCache()
+        key = ("q", ())
+        _, flight, owner = cache.begin(key, catalog)
+        assert owner
+        waiter_result = []
+
+        def waiter():
+            waiter_result.append(cache.join(flight, catalog, timeout=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        entry = self._entry(catalog, {"t"})
+        catalog.add_table("t", patients_table, replace=True)  # mid-flight DDL
+        cache.complete(flight, entry)
+        thread.join(timeout=5.0)
+        # The waiter must not receive the stale entry; it re-optimizes
+        # independently (None return, counted as a miss).
+        assert waiter_result == [None]
+
+    def test_owner_completes_after_key_evicted(self, patients_table):
+        from repro.serving.plan_cache import PlanCache
+        from repro.storage.catalog import Catalog
+        catalog = Catalog()
+        catalog.add_table("t", patients_table)
+        cache = PlanCache(capacity=2)
+        key = ("q", ())
+        _, flight, owner = cache.begin(key, catalog)
+        assert owner
+        # While the flight is open, other keys fill the cache.
+        for index in range(3):
+            cache.put((f"other{index}", ()), self._entry(catalog))
+        assert len(cache) == 2 and cache.stats.evictions == 1
+        cache.complete(flight, self._entry(catalog, {"t"}))
+        # Publication inserts and LRU-evicts within capacity; the fresh
+        # entry is immediately servable.
+        assert len(cache) == 2
+        assert cache.get(key, catalog) is not None
+
+    def test_owner_completes_after_mark_stale_of_older_entry(
+            self, patients_table):
+        from repro.serving.plan_cache import PlanCache
+        from repro.storage.catalog import Catalog
+        catalog = Catalog()
+        catalog.add_table("t", patients_table)
+        cache = PlanCache()
+        key = ("q", ())
+        old = self._entry(catalog, {"t"}, plan="old")
+        cache.put(key, old)
+        fresh = self._entry(catalog, {"t"}, plan="fresh")
+        cache.put(key, fresh)
+        # A laggard execution of the superseded plan reports drift: the
+        # fresh entry must survive.
+        assert not cache.mark_stale(key, old)
+        assert cache.get(key, catalog) is fresh
+        assert cache.stats.reoptimizations == 0
+        # Drift against the live entry does drop it.
+        assert cache.mark_stale(key, fresh)
+        assert cache.stats.reoptimizations == 1
+        assert cache.get(key, catalog) is None
+
+
+# ---------------------------------------------------------------------------
 # Concurrent execution
 # ---------------------------------------------------------------------------
 
