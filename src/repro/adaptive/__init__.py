@@ -23,17 +23,27 @@ produce bit-for-bit identical results.
 from repro.adaptive.feedback import FeedbackStore, OperatorFeedback
 from repro.adaptive.profile import (
     ConjunctProfile,
+    JoinRegion,
+    JoinStepProfile,
     OperatorProfile,
     PlanProfiler,
     conjunct_fingerprint,
     expression_fingerprint,
+    join_edge_fingerprint,
+    join_region,
+    join_step_fingerprints,
     plan_fingerprint,
 )
-from repro.adaptive.reopt import apply_feedback, feedback_divergence
+from repro.adaptive.reopt import (
+    apply_feedback,
+    feedback_divergence,
+    plan_join_order,
+)
 
 __all__ = [
-    "ConjunctProfile", "FeedbackStore", "OperatorFeedback",
-    "OperatorProfile", "PlanProfiler", "apply_feedback",
+    "ConjunctProfile", "FeedbackStore", "JoinRegion", "JoinStepProfile",
+    "OperatorFeedback", "OperatorProfile", "PlanProfiler", "apply_feedback",
     "conjunct_fingerprint", "expression_fingerprint", "feedback_divergence",
-    "plan_fingerprint",
+    "join_edge_fingerprint", "join_region", "join_step_fingerprints",
+    "plan_fingerprint", "plan_join_order",
 ]

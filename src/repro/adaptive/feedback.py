@@ -105,6 +105,24 @@ class OperatorFeedback:
             return 0.0
         return abs(self.selectivity_fast - self.selectivity_slow)
 
+    @property
+    def relative_drift(self) -> float:
+        """Divergence relative to the larger EWMA, in [0, 1).
+
+        Join-step selectivities are fractions of a cross product —
+        O(1/rows) — so an *absolute* drift threshold calibrated for
+        filter selectivities (which live in [0, 1]) could never fire on
+        them. The relative measure is scale-free: 0.25 means the recent
+        selectivity shifted 25% away from the long-run average, whatever
+        its magnitude.
+        """
+        if self.selectivity_fast is None or self.selectivity_slow is None:
+            return 0.0
+        magnitude = max(self.selectivity_fast, self.selectivity_slow)
+        if magnitude <= 0.0:
+            return 0.0
+        return abs(self.selectivity_fast - self.selectivity_slow) / magnitude
+
 
 @dataclass
 class _ModelCost:
@@ -141,6 +159,16 @@ class FeedbackStore:
                                   f"conjunct:{part.expression}",
                                   part.rows_in, part.rows_out, part.seconds,
                                   part.calls)
+                for step in profile.joins:
+                    # rows_in is the step's cross-product size, so the
+                    # selectivity EWMA tracks the classic join selectivity
+                    # |out| / (|l| * |r|) — invariant to how much earlier
+                    # joins already reduced either side, which is what the
+                    # ordering pass needs to cost any candidate sequence.
+                    self._observe(step.fingerprint,
+                                  f"joinstep:{step.detail}",
+                                  step.cross_rows, step.rows_out,
+                                  step.seconds, step.calls)
 
     def _observe(self, fingerprint: str, operator: str, rows_in: int,
                  rows_out: int, seconds: float, calls: int) -> None:
@@ -198,10 +226,17 @@ class FeedbackStore:
             return cost.seconds_per_row_ewma if cost else None
 
     def drift_score(self, fingerprint: str) -> float:
-        """Drift for one fingerprint; 0.0 until enough calls accumulated."""
+        """Drift for one fingerprint; 0.0 until enough calls accumulated.
+
+        Join-step entries use the scale-free relative measure (their
+        selectivities are cross-product fractions, far below any absolute
+        threshold); everything else uses the absolute one.
+        """
         feedback = self.observed(fingerprint)
         if feedback is None or feedback.calls < MIN_DRIFT_CALLS:
             return 0.0
+        if feedback.operator.startswith("joinstep:"):
+            return feedback.relative_drift
         return feedback.drift
 
     def has_drifted(self, fingerprint: str,

@@ -36,7 +36,9 @@ from repro.relational.logical import (
     Aggregate,
     Filter,
     Join,
+    JoinEdge,
     Limit,
+    MultiJoin,
     PlanNode,
     Predict,
     Project,
@@ -86,6 +88,14 @@ def plan_fingerprint(node: PlanNode) -> str:
         keys = ",".join(f"{lk}={rk}" for lk, rk
                         in zip(node.left_keys, node.right_keys))
         payload = f"Join:{node.how}:{keys}"
+    elif isinstance(node, MultiJoin):
+        # The execution `order` is a pure annotation: differently-ordered
+        # MultiJoins over the same inputs/edges share one feedback history
+        # (same reasoning as Join.build_side). Edges hash as a sorted
+        # multiset — they carry no order of their own.
+        edges = sorted(f"{e.left_input}.{e.left_key}={e.right_input}.{e.right_key}"
+                       for e in node.edges)
+        payload = "MultiJoin:" + "&".join(edges)
     elif isinstance(node, Predict):
         mapping = ",".join(f"{k}->{v}"
                            for k, v in sorted(node.input_mapping.items()))
@@ -128,6 +138,197 @@ def conjunct_fingerprint(filter_node: Filter, index: int) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Join regions: flatten a tree of inner equi-joins into (leaves, edges)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class JoinRegion:
+    """A maximal region of inner joins, flattened.
+
+    ``leaves`` are the non-inner-join subplans in original (in-order,
+    i.e. query text) order; ``edges`` the equi-join key pairs mapped onto
+    leaf indices. The region satisfies the *connected-prefix* property:
+    every leaf after the first shares an edge with an earlier leaf, so any
+    connectivity-respecting execution sequence avoids cross products.
+    """
+
+    leaves: Tuple[PlanNode, ...]
+    edges: Tuple[JoinEdge, ...]
+
+
+def _leaf_claims(node: PlanNode) -> Tuple[set, set]:
+    """(exact column names, alias prefixes) a region leaf can produce.
+
+    Used to attribute a join key column to one leaf. A ``Scan`` claims its
+    alias as a prefix (covering unpruned ``columns=None`` scans); nodes
+    with explicit output lists claim exact names. Unknown operators claim
+    nothing, which makes the attribution — and therefore the region
+    extraction — fail safely.
+    """
+    if isinstance(node, Scan):
+        exact = set() if node.columns is None else \
+            {f"{node.alias}.{c}" for c in node.columns}
+        return exact, {node.alias}
+    if isinstance(node, Project):
+        return {name for name, _ in node.outputs}, set()
+    if isinstance(node, Aggregate):
+        return set(node.group_by) | {s.name for s in node.aggregates}, set()
+    if isinstance(node, Predict):
+        outputs = {name for name, _, _ in node.output_columns}
+        if node.keep_columns is not None:
+            return set(node.keep_columns) | outputs, set()
+        exact, prefixes = _leaf_claims(node.child)
+        return exact | outputs, prefixes
+    if isinstance(node, (Filter, Sort, Limit)):
+        return _leaf_claims(node.children()[0])
+    if isinstance(node, (Join, MultiJoin)):
+        exact: set = set()
+        prefixes: set = set()
+        for child in node.children():
+            child_exact, child_prefixes = _leaf_claims(child)
+            exact |= child_exact
+            prefixes |= child_prefixes
+        return exact, prefixes
+    return set(), set()
+
+
+def _claims_column(claims: Tuple[set, set], column: str) -> bool:
+    exact, prefixes = claims
+    return column in exact or column.split(".", 1)[0] in prefixes
+
+
+def join_region(node: PlanNode) -> Optional[JoinRegion]:
+    """Flatten the inner-join region rooted at ``node``, or None.
+
+    Returns None when ``node`` is not an inner ``Join``/``MultiJoin``,
+    when a join key cannot be attributed to exactly one leaf, or when the
+    original leaf order violates the connected-prefix property (a bushy
+    shape whose in-order sequence would need a cross product).
+
+    Cached on the node (plan trees are immutable — rewrites build new
+    nodes): the ordering pass and the divergence check run after every
+    profiled execution of a cached plan, and must not re-flatten the tree
+    each time.
+    """
+    if not ((isinstance(node, Join) and node.how == "inner")
+            or isinstance(node, MultiJoin)):
+        return None
+    cached = node.__dict__.get("_adaptive_region")
+    if cached is not None:
+        return cached or None  # False sentinel = previously failed
+    region = _extract_join_region(node)
+    node._adaptive_region = region if region is not None else False
+    return region
+
+
+def _extract_join_region(node: PlanNode) -> Optional[JoinRegion]:
+    leaves: List[PlanNode] = []
+    pairs: List[Tuple[str, str]] = []  # (key column, key column)
+
+    def flatten(current: PlanNode) -> None:
+        if isinstance(current, Join) and current.how == "inner":
+            flatten(current.left)
+            flatten(current.right)
+            pairs.extend(zip(current.left_keys, current.right_keys))
+        elif isinstance(current, MultiJoin):
+            leaves.extend(current.inputs)
+            pairs.extend((edge.left_key, edge.right_key)
+                         for edge in current.edges)
+        else:
+            leaves.append(current)
+
+    flatten(node)
+    if len(leaves) < 2:
+        return None
+    edges = attribute_key_pairs(leaves, pairs)
+    if edges is None:
+        return None
+    # Connected-prefix check: leaf i must share an edge with a leaf < i.
+    for index in range(1, len(leaves)):
+        if not any(edge.right_input == index and edge.left_input < index
+                   for edge in edges):
+            return None
+    return JoinRegion(tuple(leaves), tuple(edges))
+
+
+def attribute_key_pairs(leaves: List[PlanNode],
+                        pairs: List[Tuple[str, str]]
+                        ) -> Optional[List[JoinEdge]]:
+    """Map key-column pairs onto leaf indices; None when ambiguous."""
+    claims = [_leaf_claims(leaf) for leaf in leaves]
+
+    def leaf_of(column: str) -> Optional[int]:
+        matches = [index for index, claim in enumerate(claims)
+                   if _claims_column(claim, column)]
+        return matches[0] if len(matches) == 1 else None
+
+    edges: List[JoinEdge] = []
+    for left_key, right_key in pairs:
+        left_leaf = leaf_of(left_key)
+        right_leaf = leaf_of(right_key)
+        if left_leaf is None or right_leaf is None or left_leaf == right_leaf:
+            return None
+        if left_leaf > right_leaf:
+            left_leaf, right_leaf = right_leaf, left_leaf
+            left_key, right_key = right_key, left_key
+        edges.append(JoinEdge(left_leaf, right_leaf, left_key, right_key))
+    return edges
+
+
+def join_edge_fingerprint(leaf_fps: List[str],
+                          edges: List[JoinEdge]) -> str:
+    """Fingerprint of one join *step*: the edge set it resolves.
+
+    Order-insensitive between the two sides of each edge and across the
+    edges of the step, and keyed by the leaf subtrees' structural
+    fingerprints — so the observation recorded when the text-order plan
+    joined (fact ⋈ dim) is exactly what the ordering pass looks up when it
+    evaluates joining dim at any other position.
+    """
+    parts = []
+    for edge in edges:
+        sides = sorted([f"{leaf_fps[edge.left_input]}:{edge.left_key}",
+                        f"{leaf_fps[edge.right_input]}:{edge.right_key}"])
+        parts.append("=".join(sides))
+    return _digest("joinstep:" + "&".join(sorted(parts)))
+
+
+def join_step_fingerprints(node: PlanNode) -> Optional[Tuple[str, ...]]:
+    """Per-step fingerprints for a join operator, cached on the node.
+
+    For a binary inner ``Join`` this is the single step merging its two
+    subtrees; for a ``MultiJoin`` one fingerprint per step of its
+    execution sequence (position 0 — the starting input — has no step).
+    None when the region cannot be extracted.
+    """
+    cached = node.__dict__.get("_adaptive_step_fps")
+    if cached is not None:
+        return cached or None  # () sentinel = previously failed
+    region = join_region(node)
+    if region is None:
+        node._adaptive_step_fps = ()
+        return None
+    leaf_fps = [plan_fingerprint(leaf) for leaf in region.leaves]
+    if isinstance(node, MultiJoin):
+        fps: Tuple[str, ...] = tuple(
+            join_edge_fingerprint(leaf_fps, node.step_edges(position))
+            for position in range(1, len(node.inputs))
+        )
+    else:
+        # A binary join's single step resolves its *own* key pairs (the
+        # edges of nested joins are those joins' steps, recorded when
+        # they execute).
+        own = attribute_key_pairs(list(region.leaves),
+                                  list(zip(node.left_keys, node.right_keys)))
+        if own is None:  # pragma: no cover - region extraction succeeded
+            node._adaptive_step_fps = ()
+            return None
+        fps = (join_edge_fingerprint(leaf_fps, own),)
+    node._adaptive_step_fps = fps
+    return fps
+
+
+# ---------------------------------------------------------------------------
 # Profile data model
 # ---------------------------------------------------------------------------
 
@@ -150,6 +351,38 @@ class ConjunctProfile:
 
 
 @dataclass
+class JoinStepProfile:
+    """Observed behaviour of one join step (one edge set resolved).
+
+    ``rows_left``/``rows_right`` are the two input cardinalities the step
+    actually saw; ``selectivity`` is the fraction of the cross product the
+    step kept — the classic join selectivity, invariant (under
+    independence) to how much earlier steps already reduced either side,
+    which is what lets observations recorded under one join order inform
+    the cost of every other order.
+    """
+
+    detail: str
+    fingerprint: str
+    calls: int = 0
+    rows_left: int = 0
+    rows_right: int = 0
+    rows_out: int = 0
+    # Summed per call (sum of l_i * r_i), not left-sum x right-sum: a
+    # chunk-parallel execution joins each chunk against the full build
+    # side, and the product of the sums would overcount the cross space
+    # by the degree of parallelism.
+    cross_rows: int = 0
+    seconds: float = 0.0
+
+    @property
+    def selectivity(self) -> Optional[float]:
+        if self.cross_rows <= 0:
+            return None
+        return self.rows_out / self.cross_rows
+
+
+@dataclass
 class OperatorProfile:
     """One plan operator's aggregated runtime observations.
 
@@ -167,6 +400,7 @@ class OperatorProfile:
     seconds: float = 0.0
     children: List["OperatorProfile"] = field(default_factory=list)
     conjuncts: List[ConjunctProfile] = field(default_factory=list)
+    joins: List[JoinStepProfile] = field(default_factory=list)
 
     @property
     def self_seconds(self) -> float:
@@ -194,6 +428,10 @@ class OperatorProfile:
                 else "?"
             lines.append(f"{pad}  [conjunct sel={psel} "
                          f"{part.seconds * 1e3:.2f}ms] {part.expression}")
+        for step in self.joins:
+            lines.append(f"{pad}  [join step {step.rows_left}x"
+                         f"{step.rows_right}->{step.rows_out} rows "
+                         f"{step.seconds * 1e3:.2f}ms] {step.detail}")
         for child in self.children:
             lines.append(child.pretty(indent + 1))
         return "\n".join(lines)
@@ -218,12 +456,13 @@ class PlanProfiler:
     resolved once, at :meth:`profile_tree` time.
     """
 
-    __slots__ = ("_lock", "_nodes", "_conjuncts")
+    __slots__ = ("_lock", "_nodes", "_conjuncts", "_joins")
 
     def __init__(self):
         self._lock = threading.Lock()
         self._nodes: Dict[int, _NodeAccumulator] = {}
         self._conjuncts: Dict[Tuple[int, int], ConjunctProfile] = {}
+        self._joins: Dict[Tuple[int, int], JoinStepProfile] = {}
 
     # ------------------------------------------------------------------
     def record_operator(self, node: PlanNode, rows_out: int,
@@ -251,6 +490,30 @@ class PlanProfiler:
             part.rows_out += rows_out
             part.seconds += seconds
 
+    def record_join(self, node: PlanNode, step: int, detail: str,
+                    rows_left: int, rows_right: int, rows_out: int,
+                    seconds: float) -> None:
+        """Record one join step (binary Join: step 0; MultiJoin: per step).
+
+        Silently skipped when the node's join region cannot be extracted
+        (no stable fingerprint to aggregate under).
+        """
+        fps = join_step_fingerprints(node)
+        if fps is None or step >= len(fps):
+            return
+        key = (id(node), step)
+        with self._lock:
+            entry = self._joins.get(key)
+            if entry is None:
+                entry = self._joins[key] = JoinStepProfile(
+                    detail=detail, fingerprint=fps[step])
+            entry.calls += 1
+            entry.rows_left += rows_left
+            entry.rows_right += rows_right
+            entry.rows_out += rows_out
+            entry.cross_rows += rows_left * rows_right
+            entry.seconds += seconds
+
     # ------------------------------------------------------------------
     def profile_tree(self, plan: PlanNode) -> OperatorProfile:
         """Assemble the profile tree for ``plan`` from the accumulators.
@@ -262,11 +525,12 @@ class PlanProfiler:
         with self._lock:
             nodes = dict(self._nodes)
             conjunct_parts = dict(self._conjuncts)
-        return self._assemble(plan, nodes, conjunct_parts)
+            join_parts = dict(self._joins)
+        return self._assemble(plan, nodes, conjunct_parts, join_parts)
 
-    def _assemble(self, node: PlanNode, nodes, conjunct_parts
+    def _assemble(self, node: PlanNode, nodes, conjunct_parts, join_parts
                   ) -> OperatorProfile:
-        children = [self._assemble(child, nodes, conjunct_parts)
+        children = [self._assemble(child, nodes, conjunct_parts, join_parts)
                     for child in node.children()]
         acc = nodes.get(id(node))
         profile = OperatorProfile(
@@ -287,4 +551,8 @@ class PlanProfiler:
                      in sorted(conjunct_parts.items())
                      if node_id == id(node)]
             profile.conjuncts = parts
+        if isinstance(node, (Join, MultiJoin)):
+            profile.joins = [part for (node_id, _), part
+                             in sorted(join_parts.items())
+                             if node_id == id(node)]
         return profile

@@ -126,9 +126,11 @@ class RavenOptimizer:
         if self.feedback is not None:
             # Feedback-driven tuning runs last, over the final operator
             # shapes, so the fingerprints it consults match what the
-            # executor will profile.
+            # executor will profile. The catalog supplies base-table
+            # statistics for cold join-ordering estimates.
             plan, changed, info = apply_feedback(plan, self.feedback,
-                                                 self.predict_batch_rows)
+                                                 self.predict_batch_rows,
+                                                 self.catalog)
             report.record("adaptive_feedback", changed, info)
         return plan, report
 

@@ -346,7 +346,8 @@ class RavenSession:
             # replacement plan call after call.
             drifted = self._drifted_fingerprints(stats.operator_profiles)
             if drifted or feedback_divergence(entry.plan, self.feedback,
-                                              self.runtime.batch_size):
+                                              self.runtime.batch_size,
+                                              self.catalog):
                 self.plan_cache.mark_stale(key, entry)
                 for fingerprint in drifted:
                     self.feedback.consume_drift(fingerprint)
@@ -361,6 +362,9 @@ class RavenSession:
             for part in profile.conjuncts:
                 if self.feedback.has_drifted(part.fingerprint):
                     drifted.append(part.fingerprint)
+            for step in profile.joins:
+                if self.feedback.has_drifted(step.fingerprint):
+                    drifted.append(step.fingerprint)
         return drifted
 
     def serve(self, queries: Iterable[str], workers: int = 4,

@@ -122,13 +122,20 @@ class SimpleImputer(BaseEstimator, TransformerMixin):
         if self.strategy == "constant":
             self.statistics_ = np.full(X.shape[1], float(self.fill_value))
             return self
-        with np.errstate(all="ignore"):
+        # All-NaN columns are defined to impute to ``fill_value``; they are
+        # excluded from the nan-statistic so numpy never reduces an empty
+        # slice (np.nanmean warns via the warnings module, which
+        # np.errstate does not silence — and the suite runs with warnings
+        # promoted to errors).
+        values = np.full(X.shape[1], float(self.fill_value))
+        # (np.all over an empty axis is True, so a zero-row fit marks
+        # every column unobserved and keeps the fill value.)
+        observed = ~np.all(np.isnan(X), axis=0)
+        if observed.any():
             if self.strategy == "mean":
-                values = np.nanmean(X, axis=0)
+                values[observed] = np.nanmean(X[:, observed], axis=0)
             else:
-                values = np.nanmedian(X, axis=0)
-        # Columns that are entirely NaN impute to the fill value.
-        values = np.where(np.isnan(values), float(self.fill_value), values)
+                values[observed] = np.nanmedian(X[:, observed], axis=0)
         self.statistics_ = values
         return self
 

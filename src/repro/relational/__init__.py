@@ -35,7 +35,9 @@ from repro.relational.logical import (
     AggregateSpec,
     Filter,
     Join,
+    JoinEdge,
     Limit,
+    MultiJoin,
     PlanNode,
     Predict,
     PredictMode,
@@ -54,7 +56,8 @@ __all__ = [
     "Aggregate", "AggregateSpec", "Between", "BinaryOp", "CaseWhen", "Cast",
     "ColumnRef", "CompiledProgram", "ExecStats", "Executor", "Expression",
     "Filter", "FunctionCall", "InList",
-    "Join", "Limit", "Literal", "ParallelExecutor", "PlanNode", "Predict",
+    "Join", "JoinEdge", "Limit", "Literal", "MultiJoin",
+    "ParallelExecutor", "PlanNode", "Predict",
     "PredictMode", "Project", "RelationalOptimizer", "Scan", "Sort", "UnaryOp",
     "col", "compile_outputs", "compile_predicate", "conjunction", "conjuncts",
     "execute", "expression_to_sql",

@@ -210,7 +210,11 @@ class CompiledProgram:
             return left - right
         if op == "*":
             return left * right
-        return left.astype(np.float64) / right.astype(np.float64)
+        # SQL float semantics: x/0 is IEEE inf/nan, silently (masked
+        # routing already keeps guarded rows out; unguarded divisions
+        # must not warn either — the suite promotes warnings to errors).
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return left.astype(np.float64) / right.astype(np.float64)
 
     def _eval_not(self, instr, ctx, active, memo):
         return np.logical_not(self._eval(instr.args[0], ctx, active, memo))

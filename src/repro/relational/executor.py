@@ -39,6 +39,7 @@ from repro.relational.logical import (
     Filter,
     Join,
     Limit,
+    MultiJoin,
     PlanNode,
     Predict,
     Project,
@@ -278,26 +279,129 @@ class Executor:
         return table.take(order)
 
     # ------------------------------------------------------------------
-    # Join (both sides are pipeline breakers: build + probe gather once)
+    # Join (selection-vector-aware: key codes factorize through each
+    # side's selection vector; non-key columns are gathered exactly once,
+    # at emit, composing the join indices with the selection — a
+    # Filter -> Join pipeline never materializes its full input)
     # ------------------------------------------------------------------
+
+    # (how, build) combinations the executor implements. ``build`` hints
+    # on anything outside this table are a planner bug — rejected loudly
+    # instead of silently running with the default.
+    _SUPPORTED_JOINS = frozenset({
+        ("inner", "left"), ("inner", "right"),
+        ("left", "left"), ("left", "right"),
+    })
+
     def _exec_join(self, node: Join) -> Table:
-        left = self._run(node.left).materialize()
-        right = self._run(node.right).materialize()
+        left = self._run(node.left)
+        right = self._run(node.right)
+        build = node.build_side or "right"
+        if (node.how, build) not in self._SUPPORTED_JOINS:
+            raise ExecutionError(
+                f"unsupported join execution: how={node.how!r} with "
+                f"build_side={node.build_side!r}"
+            )
+        started = time.perf_counter()
         codes = _composite_codes(left, right, node.left_keys, node.right_keys)
         left_idx, right_idx, unmatched = _join_indices(
-            *codes, how=node.how, build=node.build_side or "right")
+            *codes, how=node.how, build=build)
+        if self.profiler is not None:
+            keys = ", ".join(f"{lk}={rk}" for lk, rk
+                             in zip(node.left_keys, node.right_keys))
+            self.profiler.record_join(node, 0, keys, left.num_rows,
+                                      right.num_rows, len(left_idx),
+                                      time.perf_counter() - started)
         if node.how == "inner":
-            out_left = left.take(left_idx)
-            out_right = right.take(right_idx)
+            columns = _gather_columns(left, left_idx)
+            columns += _gather_columns(right, right_idx)
         else:  # left outer: append unmatched left rows with fill values
-            out_left = left.take(np.concatenate([left_idx, unmatched]))
-            matched_right = right.take(right_idx)
+            columns = _gather_columns(
+                left, np.concatenate([left_idx, unmatched]))
             fill = _fill_table(right.schema, len(unmatched))
-            out_right = Table([
-                (n, matched_right.column(n).concat(fill.column(n)))
-                for n in matched_right.column_names
-            ])
-        columns = list(out_left.columns.items()) + list(out_right.columns.items())
+            for name, matched in _gather_columns(right, right_idx):
+                columns.append((name, matched.concat(fill.column(name))))
+        return Table(columns)
+
+    # ------------------------------------------------------------------
+    # MultiJoin: an n-way inner-join region executed on row indices.
+    # Intermediate steps only shuffle per-input int64 index arrays (plus
+    # the key columns of the step); payload columns are gathered once, at
+    # the end. The output is emitted in the canonical order — rows sorted
+    # lexicographically by per-input row position, original input order
+    # major — which is exactly what the original tree of binary joins
+    # produces, so every execution `order` is bit-for-bit identical.
+    # ------------------------------------------------------------------
+    def _exec_multijoin(self, node: MultiJoin) -> Table:
+        views = [self._run(child) for child in node.inputs]
+        sequence = node.sequence()
+        first = sequence[0]
+        matched: Dict[int, np.ndarray] = {
+            first: np.arange(views[first].num_rows, dtype=np.int64)
+        }
+        for position in range(1, len(sequence)):
+            target = sequence[position]
+            edges = node.step_edges(position)
+            if not edges:
+                raise ExecutionError(
+                    f"MultiJoin step {position} has no connecting edge "
+                    f"(input {target}); the region violates the "
+                    f"connected-prefix property"
+                )
+            rows_current = len(matched[first])
+            rows_target = views[target].num_rows
+            started = time.perf_counter()
+            current_codes = np.zeros(rows_current, dtype=np.int64)
+            target_codes = np.zeros(rows_target, dtype=np.int64)
+            for edge in edges:
+                if edge.right_input == target:
+                    held, held_key = edge.left_input, edge.left_key
+                    target_key = edge.right_key
+                else:
+                    held, held_key = edge.right_input, edge.right_key
+                    target_key = edge.left_key
+                held_values = views[held].array(held_key)[matched[held]]
+                target_values = views[target].array(target_key)
+                held_codes, new_codes = _factorize_pair(held_values,
+                                                        target_values)
+                radix = int(max(held_codes.max(initial=0),
+                                new_codes.max(initial=0))) + 1
+                current_codes = current_codes * radix + held_codes
+                target_codes = target_codes * radix + new_codes
+            # Sort (build) whichever side is smaller. The canonical output
+            # sort below makes the intermediate order irrelevant, so both
+            # directions use the plain build-right kernel with the
+            # arguments swapped — never the build-left variant, whose
+            # stable re-sort exists only to restore an order nobody needs
+            # here.
+            if rows_current <= rows_target:
+                step_right, step_left, _ = _join_indices(
+                    target_codes, current_codes, how="inner", build="right")
+            else:
+                step_left, step_right, _ = _join_indices(
+                    current_codes, target_codes, how="inner", build="right")
+            matched = {index: rows[step_left]
+                       for index, rows in matched.items()}
+            matched[target] = step_right
+            if self.profiler is not None:
+                keys = ", ".join(f"{e.left_key}={e.right_key}" for e in edges)
+                self.profiler.record_join(node, position - 1, keys,
+                                          rows_current, rows_target,
+                                          len(step_left),
+                                          time.perf_counter() - started)
+        # Canonical order: original input 0 is the primary sort key.
+        # Index tuples are unique (each output row is a distinct
+        # combination of input rows), so this is a total order and the
+        # result is independent of the execution sequence.
+        count = len(matched[first])
+        if count:
+            order = np.lexsort([matched[index]
+                                for index in reversed(range(len(views)))])
+        else:
+            order = np.arange(0, dtype=np.int64)
+        columns: List[Tuple[str, Column]] = []
+        for index, view in enumerate(views):
+            columns += _gather_columns(view, matched[index][order])
         return Table(columns)
 
     # ------------------------------------------------------------------
@@ -335,6 +439,20 @@ class Executor:
 # Join internals
 # ---------------------------------------------------------------------------
 
+def _gather_columns(view: TableView,
+                    indices: np.ndarray) -> List[Tuple[str, Column]]:
+    """Gather every column of ``view`` at the given view-relative rows.
+
+    Composes the join indices with the view's selection vector so each
+    column of a filtered input is copied exactly once (at emit), never at
+    the join boundary.
+    """
+    if view.selection is not None:
+        indices = view.selection[indices]
+    return [(name, view.table.column(name).take(indices))
+            for name in view.column_names]
+
+
 def _factorize_pair(left: np.ndarray, right: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Map two arrays onto shared integer codes (joint dictionary)."""
     if left.dtype.kind == "U" or right.dtype.kind == "U":
@@ -345,9 +463,14 @@ def _factorize_pair(left: np.ndarray, right: np.ndarray) -> Tuple[np.ndarray, np
     return codes[: len(left)], codes[len(left):]
 
 
-def _composite_codes(left: Table, right: Table,
+def _composite_codes(left: Union[Table, TableView], right: Union[Table, TableView],
                      left_keys: List[str], right_keys: List[str]):
-    """Collapse (possibly multi-column) join keys to single int code arrays."""
+    """Collapse (possibly multi-column) join keys to single int code arrays.
+
+    Works on tables and views alike: ``array`` on a view gathers just the
+    key columns through the selection vector (memoized), so computing join
+    codes never materializes the payload columns.
+    """
     left_codes = np.zeros(left.num_rows, dtype=np.int64)
     right_codes = np.zeros(right.num_rows, dtype=np.int64)
     for lkey, rkey in zip(left_keys, right_keys):

@@ -187,14 +187,17 @@ class BinaryOp(Expression):
             return np.logical_or(left, right)
         if self.op in _COMPARISONS:
             return _COMPARE_FUNCS[self.op](left, right)
-        # Arithmetic. Division is always float (SQL float semantics here).
+        # Arithmetic. Division is always float (SQL float semantics here):
+        # x/0 yields IEEE inf/nan silently — guarded expressions route
+        # around those rows, and an unguarded division must not warn.
         if self.op == "+":
             return left + right
         if self.op == "-":
             return left - right
         if self.op == "*":
             return left * right
-        return left.astype(np.float64) / right.astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return left.astype(np.float64) / right.astype(np.float64)
 
     def output_dtype(self, schema: Schema) -> DataType:
         if self.op in _LOGICAL or self.op in _COMPARISONS:

@@ -183,6 +183,123 @@ class Join(PlanNode):
 
 
 @dataclass(frozen=True)
+class JoinEdge:
+    """One equi-join key pair between two inputs of a :class:`MultiJoin`.
+
+    ``left_input``/``right_input`` index into ``MultiJoin.inputs`` (with
+    ``left_input < right_input`` in the original text order);
+    ``left_key``/``right_key`` are the qualified column names each side
+    contributes.
+    """
+
+    left_input: int
+    right_input: int
+    left_key: str
+    right_key: str
+
+    def __post_init__(self):
+        if self.left_input == self.right_input:
+            raise PlanError("join edge must connect two distinct inputs")
+        if self.left_input > self.right_input:
+            raise PlanError("join edge inputs must be in original order")
+
+
+class MultiJoin(PlanNode):
+    """A region of inner equi-joins executed as one n-way operator.
+
+    Created by feedback-driven join ordering from a tree of binary inner
+    ``Join`` operators: ``inputs`` holds the region's leaf subplans in the
+    *original* (query text) order, ``edges`` the equi-join key pairs of the
+    tree, and ``order`` — a pure execution annotation — the sequence the
+    executor joins the inputs in (``None`` = original order). The executor
+    restores the **canonical output order** (the order the original
+    left-deep tree of binary joins would emit: rows sorted
+    lexicographically by the per-input row positions, original input order
+    major), so any ``order`` produces bit-for-bit identical results and
+    ``RavenSession(adaptive=False)`` remains a differential oracle.
+
+    Every input after the first (in original order *and* in any annotated
+    order) must be connected by at least one edge to the inputs before it
+    — the join-ordering pass only extracts regions with this property, so
+    execution never needs a cross product.
+    """
+
+    def __init__(self, inputs: Sequence[PlanNode], edges: Sequence[JoinEdge],
+                 order: Optional[Sequence[int]] = None):
+        if len(inputs) < 2:
+            raise PlanError("MultiJoin needs at least two inputs")
+        for edge in edges:
+            if not 0 <= edge.left_input < len(inputs) \
+                    or not 0 <= edge.right_input < len(inputs):
+                raise PlanError(f"join edge out of range: {edge}")
+        if order is not None and sorted(order) != list(range(len(inputs))):
+            raise PlanError(
+                f"order must be a permutation of the inputs: {order!r}")
+        self.inputs = list(inputs)
+        self.edges = list(edges)
+        self.order = list(order) if order is not None else None
+        # Enforce the connected-prefix invariant for both the original
+        # order and any annotated sequence, so every consumer (executor,
+        # SQL generation) can rely on it instead of failing downstream.
+        self._check_connected(list(range(len(self.inputs))), "inputs")
+        if self.order is not None:
+            self._check_connected(self.order, "order")
+
+    def _check_connected(self, sequence: List[int], label: str) -> None:
+        joined = {sequence[0]}
+        for target in sequence[1:]:
+            if not any(
+                (edge.left_input == target and edge.right_input in joined)
+                or (edge.right_input == target and edge.left_input in joined)
+                for edge in self.edges
+            ):
+                raise PlanError(
+                    f"MultiJoin {label} sequence {sequence} is not "
+                    f"connected: input {target} shares no edge with the "
+                    f"inputs before it (cross products are unsupported)"
+                )
+            joined.add(target)
+
+    def children(self):
+        return tuple(self.inputs)
+
+    def with_children(self, children):
+        if len(children) != len(self.inputs):
+            raise PlanError("MultiJoin child count mismatch")
+        return MultiJoin(children, self.edges, self.order)
+
+    def sequence(self) -> List[int]:
+        """The execution sequence (annotated order, or original order)."""
+        return list(self.order) if self.order is not None \
+            else list(range(len(self.inputs)))
+
+    def step_edges(self, position: int) -> List[JoinEdge]:
+        """Edges joining ``sequence()[position]`` to the inputs before it."""
+        sequence = self.sequence()
+        joined = set(sequence[:position])
+        target = sequence[position]
+        return [edge for edge in self.edges
+                if (edge.left_input == target and edge.right_input in joined)
+                or (edge.right_input == target and edge.left_input in joined)]
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        fields: List[Tuple[str, DataType]] = []
+        seen = set()
+        for child in self.inputs:
+            for name, dtype in child.output_schema(catalog):
+                if name in seen:
+                    raise PlanError(f"join inputs share column name: {name!r}")
+                seen.add(name)
+                fields.append((name, dtype))
+        return Schema(fields)
+
+    def _label(self):
+        keys = ", ".join(f"{e.left_key}={e.right_key}" for e in self.edges)
+        order = "" if self.order is None else f", order={self.order}"
+        return f"MultiJoin[{len(self.inputs)}]({keys}{order})"
+
+
+@dataclass(frozen=True)
 class AggregateSpec:
     """One aggregate output: ``name = func(column)``; column None = COUNT(*)."""
 

@@ -27,6 +27,7 @@ from repro.relational.logical import (
     Filter,
     Join,
     Limit,
+    MultiJoin,
     PlanNode,
     Predict,
     Project,
@@ -123,10 +124,17 @@ def push_down_filters(plan: PlanNode, catalog: Optional[Catalog] = None) -> Plan
             for part in parts:
                 refs = part.referenced_columns()
                 if refs and refs <= left_names:
+                    # Left-side predicates (including ones over the join
+                    # keys) commute with both inner and left outer joins:
+                    # they decide which left rows exist at all, which is
+                    # the same set whether applied before or after the
+                    # join null-extends unmatched survivors.
                     to_left.append(part)
                 elif refs and refs <= right_names:
                     # Under a left outer join, right-side predicates do not
-                    # commute with the join; keep them above.
+                    # commute with the join: applied below, a failing right
+                    # row turns its left partner into a null-extended row
+                    # instead of dropping it. Keep them above.
                     (to_right if child.how == "inner" else keep).append(part)
                 else:
                     keep.append(part)
@@ -136,7 +144,8 @@ def push_down_filters(plan: PlanNode, catalog: Optional[Catalog] = None) -> Plan
             right = child.right if not to_right else Filter(child.right, conjunction(to_right))
             new_join = Join(push_down_filters(left, catalog),
                             push_down_filters(right, catalog),
-                            child.left_keys, child.right_keys, child.how)
+                            child.left_keys, child.right_keys, child.how,
+                            child.build_side)
             if keep:
                 return Filter(new_join, conjunction(keep))
             return new_join
@@ -194,9 +203,11 @@ def _plan_column_names(plan: PlanNode, catalog: Optional[Catalog] = None) -> Lis
         return [f"{plan.alias}.*"]
     if isinstance(plan, Project):
         return [name for name, _ in plan.outputs]
-    if isinstance(plan, Join):
-        return (_plan_column_names(plan.left, catalog)
-                + _plan_column_names(plan.right, catalog))
+    if isinstance(plan, (Join, MultiJoin)):
+        names: List[str] = []
+        for child in plan.children():
+            names += _plan_column_names(child, catalog)
+        return names
     if isinstance(plan, Predict):
         base = plan.keep_columns if plan.keep_columns is not None \
             else _plan_column_names(plan.child, catalog)
@@ -256,7 +267,8 @@ def prune_columns(plan: PlanNode, catalog: Catalog,
         right_required = (required & right_names) | set(plan.right_keys)
         return Join(prune_columns(plan.left, catalog, left_required),
                     prune_columns(plan.right, catalog, right_required),
-                    plan.left_keys, plan.right_keys, plan.how)
+                    plan.left_keys, plan.right_keys, plan.how,
+                    plan.build_side)
 
     if isinstance(plan, Aggregate):
         child_required = set(plan.group_by)

@@ -29,6 +29,7 @@ from repro.relational.logical import (
     Filter,
     Join,
     Limit,
+    MultiJoin,
     PlanNode,
     Predict,
     Project,
@@ -144,6 +145,21 @@ def _render(plan: PlanNode, top: bool = False) -> str:
         )
         join_kw = "INNER JOIN" if plan.how == "inner" else "LEFT JOIN"
         return f"SELECT * FROM {left} {join_kw} {right} ON {conditions}"
+
+    if isinstance(plan, MultiJoin):
+        # Render as a chain of INNER JOINs in the original input order
+        # (the execution `order` is an engine-local annotation; the SQL
+        # target's own optimizer picks its join order).
+        sql = f"SELECT * FROM {_subquery(plan.inputs[0], 't0')}"
+        for index in range(1, len(plan.inputs)):
+            conditions = " AND ".join(
+                f"{quote_identifier(e.left_key)} = {quote_identifier(e.right_key)}"
+                for e in plan.edges
+                if max(e.left_input, e.right_input) == index
+            )
+            sql += (f" INNER JOIN {_subquery(plan.inputs[index], f't{index}')}"
+                    f" ON {conditions}")
+        return sql
 
     if isinstance(plan, Aggregate):
         inner = _subquery(plan.child, "t")

@@ -58,6 +58,26 @@ class TestSimpleImputer:
         imputer = SimpleImputer("mean", fill_value=7.0).fit(X)
         assert imputer.statistics_.tolist() == [7.0]
 
+    def test_all_nan_column_emits_no_warning(self):
+        # Regression: np.nanmean over an all-NaN column warned "Mean of
+        # empty slice" (np.errstate does not silence warnings-module
+        # warnings); the fill value is now assigned without reducing the
+        # empty slice. Mixed observed/all-NaN columns must stay exact.
+        import warnings
+
+        X = np.asarray([[np.nan, 1.0], [np.nan, 3.0]])
+        for strategy in ("mean", "median"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                imputer = SimpleImputer(strategy, fill_value=-5.0).fit(X)
+            assert imputer.statistics_.tolist() == [-5.0, 2.0]
+        # Zero-row fit: every column is "all NaN".
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            empty = SimpleImputer("mean", fill_value=1.5).fit(
+                np.empty((0, 3)))
+        assert empty.statistics_.tolist() == [1.5, 1.5, 1.5]
+
     def test_bad_strategy(self):
         with pytest.raises(ValueError):
             SimpleImputer("mode")

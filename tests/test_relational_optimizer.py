@@ -112,6 +112,78 @@ class TestPushdown:
             BinaryOp("and", col("fact.a").gt(0.0), col("dim.d").eq("x")))
         _optimized_equals_original(plan, catalog)
 
+    # -- outer-join audit (regression): which sides commute with `left` --
+
+    def test_left_join_allows_left_side_pushdown(self, catalog):
+        plan = Filter(
+            Join(Scan("fact"), Scan("dim"), ["fact.key"], ["dim.key"],
+                 how="left"),
+            col("fact.a").gt(0.0))
+        optimized = push_down_filters(plan, catalog)
+        join = next(n for n in walk(optimized) if isinstance(n, Join))
+        assert not isinstance(optimized, Filter)  # moved below
+        assert isinstance(join.left, Filter)
+
+    def test_left_join_left_key_predicate_preserves_null_extension(self,
+                                                                   catalog):
+        # A predicate on the *left join key* pushed below a left join must
+        # not change which surviving left rows get null-extended: the
+        # pushed and unpushed plans agree row-for-row. dim_sparse only
+        # covers keys 0..39, so fact keys 40..49 null-extend.
+        catalog.add_table("dim_sparse", Table.from_arrays(
+            key=np.arange(40), e=np.arange(40, dtype=np.float64)))
+        plan = Filter(
+            Join(Scan("fact"), Scan("dim_sparse"),
+                 ["fact.key"], ["dim_sparse.key"], how="left"),
+            col("fact.key").gt(35))  # keeps matched and unmatched keys
+        optimized = push_down_filters(plan, catalog)
+        join = next(n for n in walk(optimized) if isinstance(n, Join))
+        assert isinstance(join.left, Filter)
+        before = execute(plan, catalog)
+        after = execute(optimized, catalog)
+        assert before.num_rows > 0
+        assert np.isnan(before.array("dim_sparse.e")).any()  # null-extended
+        assert before.column_names == after.column_names
+        for name in before.column_names:
+            a, b = before.array(name), after.array(name)
+            assert a.dtype == b.dtype and a.tobytes() == b.tobytes()
+
+    def test_left_join_right_side_results_unchanged_by_pushdown_pass(
+            self, catalog):
+        # The pass keeps right-side predicates above a left join; pushing
+        # one below by hand demonstrates why: the results differ (dropped
+        # rows vs null-extended rows), so the regression pins the pass's
+        # refusal with an executable witness.
+        predicate = col("dim.c").gt(0.0)
+        kept_above = Filter(
+            Join(Scan("fact"), Scan("dim"), ["fact.key"], ["dim.key"],
+                 how="left"), predicate)
+        pushed_below = Join(Scan("fact"), Filter(Scan("dim"), predicate),
+                            ["fact.key"], ["dim.key"], how="left")
+        above = execute(kept_above, catalog)
+        below = execute(pushed_below, catalog)
+        assert below.num_rows > above.num_rows  # null-extended, not dropped
+        optimized = push_down_filters(kept_above, catalog)
+        assert isinstance(optimized, Filter)  # the pass never pushes it
+
+    def test_pushdown_preserves_build_side_annotation(self, catalog):
+        plan = Filter(
+            Join(Scan("fact"), Scan("dim"), ["fact.key"], ["dim.key"],
+                 build_side="left"),
+            col("fact.a").gt(0.0))
+        optimized = push_down_filters(plan, catalog)
+        join = next(n for n in walk(optimized) if isinstance(n, Join))
+        assert join.build_side == "left"
+
+    def test_pruning_preserves_build_side_annotation(self, catalog):
+        plan = Project(
+            Join(Scan("fact"), Scan("dim"), ["fact.key"], ["dim.key"],
+                 build_side="left"),
+            [("c", col("dim.c"))])
+        pruned = prune_columns(plan, catalog)
+        join = next(n for n in walk(pruned) if isinstance(n, Join))
+        assert join.build_side == "left"
+
 
 class TestFilterHelpers:
     def test_merge_filters(self, catalog):
