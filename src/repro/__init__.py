@@ -25,6 +25,7 @@ from repro.adaptive import FeedbackStore, OperatorProfile
 from repro.core.optimizer import OptimizationReport, RavenOptimizer
 from repro.core.session import RavenSession, RunStats, ServingStats
 from repro.errors import RavenError
+from repro.persist import Snapshot, SnapshotStore
 from repro.serving import MicroBatcher, PlanCache
 from repro.storage.catalog import Catalog
 from repro.storage.partition import PartitionedTable
@@ -36,5 +37,5 @@ __all__ = [
     "Catalog", "FeedbackStore", "MicroBatcher", "OperatorProfile",
     "OptimizationReport", "PartitionedTable", "PlanCache", "RavenError",
     "RavenOptimizer", "RavenSession", "RunStats", "Schema", "ServingStats",
-    "Table", "__version__",
+    "Snapshot", "SnapshotStore", "Table", "__version__",
 ]

@@ -20,7 +20,11 @@ the non-adaptive path is the differential-testing oracle — both must
 produce bit-for-bit identical results.
 """
 
-from repro.adaptive.feedback import FeedbackStore, OperatorFeedback
+from repro.adaptive.feedback import (
+    FeedbackStore,
+    FeedbackStoreStats,
+    OperatorFeedback,
+)
 from repro.adaptive.profile import (
     ConjunctProfile,
     JoinRegion,
@@ -41,7 +45,8 @@ from repro.adaptive.reopt import (
 )
 
 __all__ = [
-    "ConjunctProfile", "FeedbackStore", "JoinRegion", "JoinStepProfile",
+    "ConjunctProfile", "FeedbackStore", "FeedbackStoreStats", "JoinRegion",
+    "JoinStepProfile",
     "OperatorFeedback", "OperatorProfile", "PlanProfiler", "apply_feedback",
     "conjunct_fingerprint", "expression_fingerprint", "feedback_divergence",
     "join_edge_fingerprint", "join_region", "join_step_fingerprints",

@@ -23,6 +23,18 @@ All methods are thread-safe; the store is shared by every execution of a
 session and consulted by the optimizer under the plan cache's
 single-flight, so reads must never block on a long write (updates are a
 few float ops under a lock).
+
+**Persistence & merging** (see :mod:`repro.persist`): a store exports its
+complete state as a versioned dict (:meth:`FeedbackStore.export_state`)
+and folds another store's exported state back in
+(:meth:`FeedbackStore.merge_state` / :meth:`FeedbackStore.merge`). The
+merge is *commutative* — totals add, EWMA fields combine as call-weighted
+means, and float addition is commutative bit-for-bit — so N serving
+workers can export snapshots in any order and a new worker warm-starts
+from their union. It is also *drift-safe*: merging stores whose fast and
+slow selectivity EWMAs agree (converged workers) can never manufacture a
+drift signal, because both EWMAs merge through the identical weighted
+mean.
 """
 
 from __future__ import annotations
@@ -30,9 +42,13 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.adaptive.profile import OperatorProfile
+from repro.errors import PersistError
+
+# Versioned wire format of export_state()/merge_state() payloads.
+FEEDBACK_FORMAT = "repro-feedback-v1"
 
 # EWMA smoothing: alpha for the responsive estimate and the long-run one.
 FAST_ALPHA = 0.5
@@ -52,6 +68,44 @@ def _ewma(current: Optional[float], observed: float, alpha: float) -> float:
     if current is None:
         return observed
     return alpha * observed + (1.0 - alpha) * current
+
+
+def _weighted_mean(a: Optional[float], weight_a: float,
+                   b: Optional[float], weight_b: float) -> Optional[float]:
+    """Merge two estimates by weight; None means "no observation".
+
+    Symmetric in its argument pairs (and float ``+`` is commutative), so
+    ``merge(a, b) == merge(b, a)`` bit-for-bit — the property the
+    snapshot-union warm start relies on.
+    """
+    if b is None:
+        return a
+    if a is None:
+        return b
+    total = weight_a + weight_b
+    if total <= 0.0:
+        return (a + b) / 2.0
+    return (weight_a * a + weight_b * b) / total
+
+
+@dataclass
+class FeedbackStoreStats:
+    """Monotonic counters for one :class:`FeedbackStore`.
+
+    ``operator_evictions`` counts operator-fingerprint entries dropped by
+    the LRU bound (serving traffic with churning literals mints unbounded
+    fingerprints; eviction only costs re-learning), ``model_evictions``
+    the same for per-model predict costs, and ``merges`` how many exported
+    states were folded in (warm starts and fleet unions).
+    """
+
+    operator_evictions: int = 0
+    model_evictions: int = 0
+    merges: int = 0
+
+    def snapshot(self) -> "FeedbackStoreStats":
+        return FeedbackStoreStats(self.operator_evictions,
+                                  self.model_evictions, self.merges)
 
 
 @dataclass
@@ -98,6 +152,58 @@ class OperatorFeedback:
             self.seconds_per_row_ewma = _ewma(self.seconds_per_row_ewma,
                                               seconds / rows_in, FAST_ALPHA)
 
+    def fold(self, other: "OperatorFeedback") -> None:
+        """Merge another store's accumulated entry into this one.
+
+        Totals add; EWMA estimates combine as call-weighted means (the
+        weights are the calls *before* folding, captured first). Additive
+        and symmetric per field, so folding is commutative and — up to
+        float re-association — associative.
+        """
+        self.selectivity_fast = _weighted_mean(
+            self.selectivity_fast, self.calls,
+            other.selectivity_fast, other.calls)
+        self.selectivity_slow = _weighted_mean(
+            self.selectivity_slow, self.calls,
+            other.selectivity_slow, other.calls)
+        self.rows_out_ewma = _weighted_mean(
+            self.rows_out_ewma, self.calls, other.rows_out_ewma, other.calls)
+        self.seconds_per_row_ewma = _weighted_mean(
+            self.seconds_per_row_ewma, self.calls,
+            other.seconds_per_row_ewma, other.calls)
+        self.calls += other.calls
+        self.rows_in += other.rows_in
+        self.rows_out += other.rows_out
+        self.seconds += other.seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "operator": self.operator,
+            "calls": self.calls,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "seconds": self.seconds,
+            "selectivity_fast": self.selectivity_fast,
+            "selectivity_slow": self.selectivity_slow,
+            "rows_out_ewma": self.rows_out_ewma,
+            "seconds_per_row_ewma": self.seconds_per_row_ewma,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "OperatorFeedback":
+        return cls(
+            operator=str(payload["operator"]),
+            calls=int(payload["calls"]),
+            rows_in=int(payload["rows_in"]),
+            rows_out=int(payload["rows_out"]),
+            seconds=float(payload["seconds"]),
+            selectivity_fast=_opt_float(payload.get("selectivity_fast")),
+            selectivity_slow=_opt_float(payload.get("selectivity_slow")),
+            rows_out_ewma=_opt_float(payload.get("rows_out_ewma")),
+            seconds_per_row_ewma=_opt_float(
+                payload.get("seconds_per_row_ewma")),
+        )
+
     @property
     def drift(self) -> float:
         """Absolute divergence between recent and long-run selectivity."""
@@ -124,6 +230,10 @@ class OperatorFeedback:
         return abs(self.selectivity_fast - self.selectivity_slow) / magnitude
 
 
+def _opt_float(value) -> Optional[float]:
+    return None if value is None else float(value)
+
+
 @dataclass
 class _ModelCost:
     calls: int = 0
@@ -131,15 +241,35 @@ class _ModelCost:
     seconds: float = 0.0
     seconds_per_row_ewma: Optional[float] = None
 
+    def fold(self, other: "_ModelCost") -> None:
+        self.seconds_per_row_ewma = _weighted_mean(
+            self.seconds_per_row_ewma, self.calls,
+            other.seconds_per_row_ewma, other.calls)
+        self.calls += other.calls
+        self.rows += other.rows
+        self.seconds += other.seconds
+
 
 class FeedbackStore:
-    """Thread-safe aggregate of execution feedback for one session."""
+    """Thread-safe aggregate of execution feedback for one session.
 
-    def __init__(self):
+    Both maps are LRU-bounded (``max_operator_entries`` /
+    ``max_model_entries``): long-lived serving sessions must not pin
+    feedback for every fingerprint they ever minted. Evictions are
+    counted in :attr:`stats`.
+    """
+
+    def __init__(self, max_operator_entries: int = MAX_OPERATOR_ENTRIES,
+                 max_model_entries: int = MAX_MODEL_ENTRIES):
+        if max_operator_entries < 1 or max_model_entries < 1:
+            raise ValueError("feedback store bounds must be >= 1")
         self._lock = threading.Lock()
         self._operators: "OrderedDict[str, OperatorFeedback]" = OrderedDict()
         self._models: "OrderedDict[str, _ModelCost]" = OrderedDict()
+        self.max_operator_entries = max_operator_entries
+        self.max_model_entries = max_model_entries
         self.profiles_recorded = 0
+        self.stats = FeedbackStoreStats()
 
     # ------------------------------------------------------------------
     # Recording
@@ -176,11 +306,20 @@ class FeedbackStore:
         if feedback is None:
             feedback = self._operators[fingerprint] = OperatorFeedback(
                 operator=operator)
-            while len(self._operators) > MAX_OPERATOR_ENTRIES:
-                self._operators.popitem(last=False)
+            self._bound_operators_locked()
         else:
             self._operators.move_to_end(fingerprint)
         feedback.observe(rows_in, rows_out, seconds, calls)
+
+    def _bound_operators_locked(self) -> None:
+        while len(self._operators) > self.max_operator_entries:
+            self._operators.popitem(last=False)
+            self.stats.operator_evictions += 1
+
+    def _bound_models_locked(self) -> None:
+        while len(self._models) > self.max_model_entries:
+            self._models.popitem(last=False)
+            self.stats.model_evictions += 1
 
     def record_predict(self, model_name: str, rows: int,
                        seconds: float) -> None:
@@ -191,8 +330,7 @@ class FeedbackStore:
             cost = self._models.get(model_name)
             if cost is None:
                 cost = self._models[model_name] = _ModelCost()
-                while len(self._models) > MAX_MODEL_ENTRIES:
-                    self._models.popitem(last=False)
+                self._bound_models_locked()
             else:
                 self._models.move_to_end(model_name)
             cost.calls += 1
@@ -256,6 +394,90 @@ class FeedbackStore:
             feedback = self._operators.get(fingerprint)
             if feedback is not None and feedback.selectivity_fast is not None:
                 feedback.selectivity_slow = feedback.selectivity_fast
+
+    # ------------------------------------------------------------------
+    # Persistence & merging (repro.persist)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Complete store state as a versioned, JSON-compatible dict.
+
+        The export is a consistent point-in-time copy (taken under the
+        lock); mutating the store afterwards does not affect it.
+        """
+        with self._lock:
+            return {
+                "format": FEEDBACK_FORMAT,
+                "profiles_recorded": self.profiles_recorded,
+                "operators": {fingerprint: feedback.to_dict()
+                              for fingerprint, feedback
+                              in self._operators.items()},
+                "models": {name: {
+                    "calls": cost.calls,
+                    "rows": cost.rows,
+                    "seconds": cost.seconds,
+                    "seconds_per_row_ewma": cost.seconds_per_row_ewma,
+                } for name, cost in self._models.items()},
+            }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold an exported state into this store (commutative union).
+
+        Per fingerprint, totals add and EWMA estimates combine as
+        call-weighted means — see :meth:`OperatorFeedback.fold`. New
+        fingerprints respect the LRU bound (oldest resident entries are
+        evicted and counted, never the incoming observations).
+
+        All-or-nothing: the entire payload is decoded and validated
+        *before* anything folds in, so a malformed state raises
+        :class:`~repro.errors.PersistError` without partially mutating
+        the store (a retry after a partial fold would double-count).
+        """
+        if state.get("format") != FEEDBACK_FORMAT:
+            raise PersistError(
+                f"not a {FEEDBACK_FORMAT} payload: {state.get('format')!r}")
+        try:
+            profiles = int(state.get("profiles_recorded", 0))
+            incoming_operators = {
+                fingerprint: OperatorFeedback.from_dict(payload)
+                for fingerprint, payload
+                in dict(state.get("operators", {})).items()
+            }
+            incoming_models = {
+                name: _ModelCost(
+                    calls=int(payload["calls"]),
+                    rows=int(payload["rows"]),
+                    seconds=float(payload["seconds"]),
+                    seconds_per_row_ewma=_opt_float(
+                        payload.get("seconds_per_row_ewma")),
+                )
+                for name, payload in dict(state.get("models", {})).items()
+            }
+        except (KeyError, TypeError, AttributeError, ValueError) as error:
+            raise PersistError(
+                f"malformed {FEEDBACK_FORMAT} payload: {error}") from error
+        with self._lock:
+            self.profiles_recorded += profiles
+            for fingerprint, incoming in incoming_operators.items():
+                feedback = self._operators.get(fingerprint)
+                if feedback is None:
+                    self._operators[fingerprint] = incoming
+                    self._bound_operators_locked()
+                else:
+                    self._operators.move_to_end(fingerprint)
+                    feedback.fold(incoming)
+            for name, incoming_cost in incoming_models.items():
+                cost = self._models.get(name)
+                if cost is None:
+                    self._models[name] = incoming_cost
+                    self._bound_models_locked()
+                else:
+                    self._models.move_to_end(name)
+                    cost.fold(incoming_cost)
+            self.stats.merges += 1
+
+    def merge(self, other: "FeedbackStore") -> None:
+        """Fold another live store in (snapshot taken atomically first)."""
+        self.merge_state(other.export_state())
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -35,15 +35,27 @@ cached plan that execution feedback has drifted away from is marked
 stale and re-optimized through the plan cache's single-flight path
 (``plan_cache.stats.reoptimizations``). ``RavenSession(adaptive=False)``
 turns the whole loop off and must produce bit-for-bit identical results.
+
+Persistence & warm start (see :mod:`repro.persist`): the warm state —
+optimized plans, learned feedback, catalog statistics — survives the
+process. ``session.save_snapshot(path)`` exports it;
+``RavenSession(warm_start=path_or_snapshot)`` starts a new worker where
+the fleet left off (plans install as their tables/models get registered,
+validated by content digest); a :class:`~repro.persist.SnapshotStore`
+auto-checkpoints every K re-optimizations.
+``RavenSession(profile_sample_rate=N)`` throttles profiling of
+fixed-point cached plans to every Nth execution.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.adaptive.feedback import FeedbackStore
 from repro.adaptive.profile import OperatorProfile, PlanProfiler
@@ -53,11 +65,22 @@ from repro.core.executor import DEFAULT_BATCH_SIZE, PredictRuntime, QueryExecuto
 from repro.core.optimizer import OptimizationReport, RavenOptimizer
 from repro.core.parser import parse
 from repro.core.strategies import OptimizationStrategy
-from repro.errors import BackpressureError, CatalogError
+from repro.errors import (
+    BackpressureError,
+    CatalogError,
+    PersistError,
+    RavenError,
+)
 from repro.learn.pipeline import Pipeline
 from repro.onnxlite.convert import convert_pipeline
 from repro.onnxlite.graph import Graph
 from repro.onnxlite.serialize import load_graph
+from repro.persist.snapshot import (
+    Snapshot,
+    build_snapshot,
+    install_plans,
+    table_digest,
+)
 from repro.relational.logical import PlanNode
 from repro.relational.optimizer import RelationalOptimizer
 from repro.relational.sqlgen import plan_to_sql
@@ -141,7 +164,9 @@ class RavenSession:
                  plan_cache: Union[PlanCache, bool] = True,
                  compile_expressions: bool = True,
                  adaptive: bool = True,
-                 feedback: Optional[FeedbackStore] = None):
+                 feedback: Optional[FeedbackStore] = None,
+                 warm_start: Union[str, Path, Snapshot, None] = None,
+                 profile_sample_rate: Optional[int] = None):
         self.catalog = Catalog()
         # Compiled expression engine (CSE + masked CASE routing) for
         # Filter/Project evaluation; False selects the interpreted
@@ -178,6 +203,33 @@ class RavenSession:
         if self.plan_cache is not None:
             self.plan_cache.attach(self.catalog)
         self._stats_lock = threading.Lock()
+        # Sampled re-profiling: with a rate N, a *fixed-point* cached plan
+        # is profiled on every Nth hit instead of every call (fresh and
+        # still-converging plans always profile, so the feedback loop
+        # converges at full speed; drift detection fires on the sampled
+        # profiles).
+        if profile_sample_rate is not None and profile_sample_rate < 1:
+            raise ValueError("profile_sample_rate must be >= 1")
+        self.profile_sample_rate = profile_sample_rate
+        # Warm start (repro.persist): plans/statistics from a snapshot
+        # install lazily as their dependencies get registered. The origin
+        # id identifies this session's snapshots across its checkpoints
+        # (a fleet union merges only the newest snapshot per origin).
+        self._persist_origin = uuid.uuid4().hex[:12]
+        # Origins whose feedback this session imported (warm starts):
+        # exported in snapshots so a fleet merge never counts an
+        # ancestor's observations twice through a warm-started child.
+        self._persist_ancestors: set = set()
+        self._warm_lock = threading.Lock()
+        self._warm_install_lock = threading.Lock()
+        self._warm_plans: List[dict] = []
+        self._warm_stats: Dict[str, dict] = {}
+        self._warm_listening = False
+        self._snapshot_store = None
+        self._checkpoint_every = 0
+        self._checkpointed_reopts = 0
+        if warm_start is not None:
+            self.load_snapshot(warm_start)
 
     # ------------------------------------------------------------------
     # Registration
@@ -211,6 +263,163 @@ class RavenSession:
             )
         self.catalog.add_model(name, graph, replace=replace, **metadata)
         return graph
+
+    # ------------------------------------------------------------------
+    # Persistence & warm start (repro.persist)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Snapshot:
+        """Export this session's warm state (plans, feedback, stats)."""
+        return build_snapshot(self)
+
+    def save_snapshot(self, path: Union[str, Path]) -> Path:
+        """Write :meth:`snapshot` to ``path`` (atomically) and return it."""
+        return self.snapshot().save(path)
+
+    def load_snapshot(self, snapshot: Union[str, Path, Snapshot]) -> Dict[str, int]:
+        """Warm-start this session from a snapshot (or a path to one).
+
+        Feedback merges into the session's store immediately (commutative
+        union — call once per fleet snapshot to merge several). Plan
+        entries and table statistics whose dependencies are already
+        registered install now; the rest stay pending and install
+        automatically as matching tables/models are registered. Entries
+        whose dependencies exist with *different* content (schema or
+        model changed) are dropped — the ordinary miss path re-optimizes.
+
+        Returns a summary dict: ``plans_installed`` / ``plans_pending`` /
+        ``plans_dropped`` / ``feedback_operators`` / ``tables_with_stats``.
+        """
+        if not isinstance(snapshot, Snapshot):
+            snapshot = Snapshot.load(snapshot)
+        summary = {"plans_installed": 0, "plans_pending": 0,
+                   "plans_dropped": 0, "feedback_operators": 0,
+                   "tables_with_stats": 0}
+        if snapshot.feedback is not None and self.feedback is not None:
+            # merge_state validates the whole payload before folding
+            # anything in (all-or-nothing), so a malformed feedback
+            # export degrades to "no feedback" — plans and statistics
+            # still load — instead of crashing the constructor.
+            try:
+                self.feedback.merge_state(snapshot.feedback)
+                summary["feedback_operators"] = len(
+                    snapshot.feedback.get("operators", {}))
+                if snapshot.origin:
+                    self._persist_ancestors.add(snapshot.origin)
+                self._persist_ancestors.update(snapshot.ancestors)
+            except PersistError:
+                pass
+        summary["tables_with_stats"] = len(snapshot.table_stats)
+        with self._warm_lock:
+            self._warm_stats.update(snapshot.table_stats)
+            if self.plan_cache is not None:
+                self._warm_plans.extend(snapshot.plans)
+        # Subscribe *before* the initial install pass (and after the plan
+        # cache's invalidation hook, so a registration first invalidates,
+        # then installs): a registration landing between the pass and a
+        # later subscription would otherwise leave its plans pending
+        # forever. catalog.subscribe is idempotent.
+        if not self._warm_listening:
+            self.catalog.subscribe(self._on_warm_catalog_change)
+            self._warm_listening = True
+        for name in self.catalog.table_names:
+            self._augment_warm_stats(name)
+        installed, dropped = self._install_warm_plans()
+        summary["plans_installed"] = installed
+        summary["plans_dropped"] = dropped
+        with self._warm_lock:
+            summary["plans_pending"] = len(self._warm_plans)
+        return summary
+
+    def _on_warm_catalog_change(self, kind: str, name: str) -> None:
+        if kind == "table":
+            self._augment_warm_stats(name)
+        self._install_warm_plans()
+
+    def _augment_warm_stats(self, name: str) -> None:
+        """Apply a snapshot's statistics to a freshly registered table.
+
+        Only fills fields live collection left unknown, and only when the
+        table's content digest still matches the snapshot's — statistics
+        from a different schema must never leak in. Applied (or
+        discarded) once per table.
+        """
+        from repro.storage.statistics import TableStats
+
+        with self._warm_lock:
+            payload = self._warm_stats.get(name)
+        if payload is None or not self.catalog.has_table(name):
+            return
+        if table_digest(self.catalog.table(name)) == payload.get("digest"):
+            try:
+                stats = TableStats.from_dict(payload["stats"])
+            except (KeyError, TypeError, ValueError):
+                stats = None
+            if stats is not None:
+                self.catalog.augment_stats(name, stats)
+        with self._warm_lock:
+            self._warm_stats.pop(name, None)
+
+    def _install_warm_plans(self) -> Tuple[int, int]:
+        """Try installing pending snapshot plans; ``(installed, dropped)``.
+
+        Serialized by ``_warm_install_lock`` so a concurrent registration
+        cannot observe an empty pending list mid-install and skip entries
+        that just became ready. Only lock-free catalog reads happen under
+        the lock (no catalog-lock inversion with the change listener).
+        """
+        if self.plan_cache is None:
+            return 0, 0
+        with self._warm_install_lock:
+            with self._warm_lock:
+                pending = self._warm_plans
+                self._warm_plans = []
+            if not pending:
+                return 0, 0
+            installed, still_pending, dropped = install_plans(
+                self.plan_cache, self.catalog, pending)
+            with self._warm_lock:
+                self._warm_plans = still_pending + self._warm_plans
+        return installed, dropped
+
+    def attach_snapshot_store(self, store,
+                              every_reoptimizations: int = 8) -> None:
+        """Auto-checkpoint into ``store`` every K re-optimizations.
+
+        Every K adaptive re-optimizations — the moments cached plans
+        actually changed — the session writes a fresh snapshot through
+        the :class:`~repro.persist.SnapshotStore`.
+        """
+        if every_reoptimizations < 1:
+            raise ValueError("every_reoptimizations must be >= 1")
+        self._checkpointed_reopts = (
+            self.plan_cache.stats.reoptimizations
+            if self.plan_cache is not None else 0)
+        self._checkpoint_every = every_reoptimizations
+        self._snapshot_store = store
+
+    def detach_snapshot_store(self) -> None:
+        self._snapshot_store = None
+
+    def _maybe_checkpoint(self) -> None:
+        store = self._snapshot_store
+        if store is None or self.plan_cache is None:
+            return
+        reoptimizations = self.plan_cache.stats.reoptimizations
+        with self._stats_lock:
+            previous = self._checkpointed_reopts
+            if reoptimizations - previous < self._checkpoint_every:
+                return
+            self._checkpointed_reopts = reoptimizations
+        try:
+            store.save(self)
+        except (OSError, RavenError):
+            # Checkpoints are best-effort: a full disk, or a concurrent
+            # drop_table racing build_snapshot's catalog reads, must not
+            # fail the serving call that crossed the threshold.
+            # Un-claim the counter so a later crossing retries.
+            with self._stats_lock:
+                if self._checkpointed_reopts == reoptimizations:
+                    self._checkpointed_reopts = previous
 
     # ------------------------------------------------------------------
     # Planning
@@ -333,7 +542,9 @@ class RavenSession:
         plan, report, cache_hit, key, entry = self._plan_for(query)
         optimize_seconds = time.perf_counter() - optimize_started
         table, stats = self._execute(plan, report, optimize_seconds,
-                                     cache_hit=cache_hit)
+                                     cache_hit=cache_hit,
+                                     profile=self._should_profile(entry,
+                                                                  cache_hit))
         if (entry is not None and self.adaptive
                 and stats.operator_profiles is not None
                 and self.plan_cache is not None):
@@ -351,7 +562,29 @@ class RavenSession:
                 self.plan_cache.mark_stale(key, entry)
                 for fingerprint in drifted:
                     self.feedback.consume_drift(fingerprint)
+                entry.fixed_point = False
+            else:
+                # Converged: eligible for sampled re-profiling, and what
+                # a snapshot records as this plan's adaptive state. Also
+                # the right moment to auto-checkpoint — the cache holds
+                # the *replacement* plan, not the just-dropped stale one.
+                entry.fixed_point = True
+                self._maybe_checkpoint()
         return table, stats
+
+    def _should_profile(self, entry, cache_hit: bool) -> bool:
+        """Sampled re-profiling gate (True = profile this execution).
+
+        Without a ``profile_sample_rate``, every adaptive execution
+        profiles (the PR-3 behaviour). With one, only *fixed-point*
+        cached plans are throttled — every Nth hit still profiles, so
+        EWMA drift detection keeps firing, just on a sample.
+        """
+        rate = self.profile_sample_rate
+        if (rate is None or rate <= 1 or entry is None or not cache_hit
+                or not entry.fixed_point):
+            return True
+        return entry.hits % rate == 0
 
     def _drifted_fingerprints(self, root: OperatorProfile) -> List[str]:
         """Profiled operator/conjunct fingerprints tripping drift."""
@@ -458,13 +691,13 @@ class RavenSession:
         return self._execute(plan, None, 0.0)[0]
 
     def _execute(self, plan: PlanNode, report: Optional[OptimizationReport],
-                 optimize_seconds: float, cache_hit: bool = False
-                 ) -> Tuple[Table, RunStats]:
+                 optimize_seconds: float, cache_hit: bool = False,
+                 profile: bool = True) -> Tuple[Table, RunStats]:
         # Per-call runtime view: shares the inference-session and compiled-
         # program caches but keeps partition dispatch and GPU-time
         # accounting local, so concurrent calls never interleave state.
         runtime = self.runtime.for_call()
-        profiler = PlanProfiler() if self.adaptive else None
+        profiler = PlanProfiler() if (self.adaptive and profile) else None
         executor = QueryExecutor(self.catalog, runtime, dop=self.dop,
                                  compile_expressions=self.compile_expressions,
                                  profiler=profiler)

@@ -75,3 +75,7 @@ class NotFittedError(RavenError):
 
 class CompileError(RavenError):
     """A model could not be compiled to SQL or to a tensor program."""
+
+
+class PersistError(RavenError):
+    """A snapshot payload is malformed, unversioned, or unserializable."""

@@ -49,6 +49,27 @@ class PlanNode:
     def __repr__(self):
         return self._label()
 
+    # -- persistence (repro.persist.plan_codec) -------------------------
+    def to_dict(self) -> dict:
+        """Schema-versioned, JSON-compatible form of this plan tree.
+
+        Covers every node type in the logical algebra (including
+        ``MultiJoin`` execution orders and learned annotations); the
+        inverse is :meth:`PlanNode.from_dict`. Derived per-node caches
+        (compiled programs, adaptive fingerprints) are not part of the
+        payload — they are recomputed lazily after a round trip.
+        """
+        from repro.persist.plan_codec import plan_to_dict
+
+        return plan_to_dict(self)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "PlanNode":
+        """Rebuild a plan tree written by :meth:`PlanNode.to_dict`."""
+        from repro.persist.plan_codec import plan_from_dict
+
+        return plan_from_dict(payload)
+
 
 class Scan(PlanNode):
     """Read a base table; ``columns=None`` reads everything.

@@ -63,6 +63,9 @@ class PlanCacheStats:
     # Entries dropped because execution feedback diverged from the plan
     # (adaptive re-optimization through the single-flight miss path).
     reoptimizations: int = 0
+    # Entries installed from a persisted snapshot (warm start) after
+    # validating against the live catalog.
+    restored: int = 0
 
     @property
     def lookups(self) -> int:
@@ -75,7 +78,7 @@ class PlanCacheStats:
     def snapshot(self) -> "PlanCacheStats":
         return PlanCacheStats(self.hits, self.misses, self.evictions,
                               self.invalidations, self.coalesced,
-                              self.reoptimizations)
+                              self.reoptimizations, self.restored)
 
 
 @dataclass
@@ -90,6 +93,11 @@ class CachedPlan:
     models: FrozenSet[str] = frozenset()
     versions: DependencyVersions = field(default_factory=dict)
     hits: int = 0
+    # True once a profiled execution found no feedback divergence: the
+    # plan reached its adaptive fixed point. Sampled re-profiling
+    # (``RavenSession(profile_sample_rate=...)``) only throttles profiling
+    # for fixed-point entries, so convergence stays at full speed.
+    fixed_point: bool = False
 
     def depends_on(self, kind: str, name: str) -> bool:
         names = self.tables if kind == "table" else self.models
@@ -163,6 +171,31 @@ class PlanCache:
     def put(self, key: Tuple, entry: CachedPlan) -> None:
         with self._lock:
             self._put_locked(key, entry)
+
+    def restore(self, key: Tuple, entry: CachedPlan) -> None:
+        """Install an entry deserialized from a snapshot (warm start).
+
+        The caller (:mod:`repro.persist.snapshot`) has already validated
+        the entry against the live catalog and re-stamped its dependency
+        versions; this is an ordinary LRU insert that additionally counts
+        in ``stats.restored``. A live entry for the same key — optimized
+        in *this* process against the current data — always wins.
+        """
+        with self._lock:
+            if key in self._entries:
+                return
+            self._put_locked(key, entry)
+            self._stats.restored += 1
+
+    def entries(self) -> list:
+        """Point-in-time ``(key, entry)`` list, LRU-oldest first.
+
+        Snapshot export iterates this copy outside the lock; entries are
+        shared objects, but their plan/report fields are immutable after
+        publication.
+        """
+        with self._lock:
+            return list(self._entries.items())
 
     def _put_locked(self, key: Tuple, entry: CachedPlan) -> None:
         self._entries[key] = entry

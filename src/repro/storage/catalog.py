@@ -148,6 +148,25 @@ class Catalog:
             self._notify("table", name)
         return entry
 
+    def augment_stats(self, name: str, stats: TableStats) -> bool:
+        """Fill missing fields of a table's statistics from ``stats``.
+
+        Used by snapshot warm start: persisted statistics stand in where
+        live collection left gaps (e.g. distinct counts skipped above the
+        size cutoff), so cold-start join ordering sees real NDVs. Live
+        values always win and no catalog version is bumped — refined
+        *estimates* change optimization quality, not plan validity, so
+        cached plans must not be invalidated by them.
+
+        Returns False when the table is not registered.
+        """
+        with self._lock:
+            entry = self._tables.get(name)
+            if entry is None:
+                return False
+            entry.stats = entry.stats.fill_missing(stats)
+            return True
+
     def table(self, name: str) -> TableEntry:
         if name not in self._tables:
             raise CatalogError(

@@ -72,6 +72,56 @@ class ColumnStats:
             return None
         return (self.min_value, self.max_value)
 
+    def to_dict(self) -> dict:
+        """JSON-compatible form (for :mod:`repro.persist` snapshots)."""
+        return {
+            "name": self.name,
+            "dtype": self.dtype.value,
+            "row_count": self.row_count,
+            "min_value": self.min_value,
+            "max_value": self.max_value,
+            "distinct_count": self.distinct_count,
+            "categories": None if self.categories is None
+            else list(self.categories),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ColumnStats":
+        return cls(
+            name=payload["name"],
+            dtype=DataType(payload["dtype"]),
+            row_count=int(payload["row_count"]),
+            min_value=payload["min_value"],
+            max_value=payload["max_value"],
+            distinct_count=payload["distinct_count"],
+            categories=None if payload["categories"] is None
+            else tuple(payload["categories"]),
+        )
+
+    def fill_missing(self, other: "ColumnStats") -> "ColumnStats":
+        """Fill this column's unknown fields from ``other`` (same dtype).
+
+        Used by warm start: live collection skips expensive statistics
+        (distinct counts above the size cutoff), while a snapshot from a
+        previous session may carry them. Known live values always win —
+        persisted statistics only stand in where collection left None.
+        """
+        if other.dtype is not self.dtype:
+            return self
+        return ColumnStats(
+            name=self.name,
+            dtype=self.dtype,
+            row_count=self.row_count,
+            min_value=self.min_value if self.min_value is not None
+            else other.min_value,
+            max_value=self.max_value if self.max_value is not None
+            else other.max_value,
+            distinct_count=self.distinct_count
+            if self.distinct_count is not None else other.distinct_count,
+            categories=self.categories if self.categories is not None
+            else other.categories,
+        )
+
 
 @dataclass
 class TableStats:
@@ -93,6 +143,34 @@ class TableStats:
     def interval(self, name: str) -> Optional[Tuple[float, float]]:
         stats = self.columns.get(name)
         return stats.interval() if stats else None
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (for :mod:`repro.persist` snapshots)."""
+        return {
+            "row_count": self.row_count,
+            "columns": {name: stats.to_dict()
+                        for name, stats in self.columns.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TableStats":
+        stats = cls(row_count=int(payload["row_count"]))
+        for name, column in dict(payload["columns"]).items():
+            stats.columns[name] = ColumnStats.from_dict(column)
+        return stats
+
+    def fill_missing(self, other: "TableStats") -> "TableStats":
+        """Fill unknown per-column fields from ``other``; live values win.
+
+        Columns only present in ``other`` are ignored — statistics must
+        never describe columns the live table does not have.
+        """
+        merged = TableStats(row_count=self.row_count)
+        for name, stats in self.columns.items():
+            persisted = other.columns.get(name)
+            merged.columns[name] = stats if persisted is None \
+                else stats.fill_missing(persisted)
+        return merged
 
     def merge(self, other: "TableStats") -> "TableStats":
         """Combine statistics from two fragments of the same table."""

@@ -211,11 +211,8 @@ class TestFeedbackStore:
         assert store.drift_score(fp) > 0.25
         assert store.has_drifted(fp)
 
-    def test_store_is_lru_bounded(self, monkeypatch):
-        from repro.adaptive import feedback as feedback_module
-        monkeypatch.setattr(feedback_module, "MAX_OPERATOR_ENTRIES", 4)
-        monkeypatch.setattr(feedback_module, "MAX_MODEL_ENTRIES", 2)
-        store = FeedbackStore()
+    def test_store_is_lru_bounded(self):
+        store = FeedbackStore(max_operator_entries=4, max_model_entries=2)
         for index in range(10):
             store.record_profile(OperatorProfile(
                 operator="Scan", fingerprint=f"fp{index}", calls=1,
@@ -226,6 +223,8 @@ class TestFeedbackStore:
         assert store.observed("fp0") is None
         assert store.predict_per_row_cost("m9") is not None
         assert store.predict_per_row_cost("m0") is None
+        assert store.stats.operator_evictions == 6
+        assert store.stats.model_evictions == 8
 
     def test_predict_cost_tracking(self):
         store = FeedbackStore()

@@ -1,0 +1,836 @@
+"""Persistence & warm start: codecs, snapshots, merges, sessions.
+
+Covers the PR-5 guarantees:
+
+* plan ⇄ dict round-trips every logical node and expression type
+  bit-for-bit (structure, annotations, fingerprints);
+* optimize → save → load → execute is bit-for-bit identical to a fresh
+  optimize → execute, with ``adaptive=False`` as the oracle;
+* ``FeedbackStore.merge`` is commutative (exactly) and associative (up
+  to float re-association), drift-safe, and LRU-bounded with observable
+  eviction counters;
+* a warm-started session serves a previously-learned plan on its first
+  call (cache hit, zero re-optimizations) and drops stale entries whose
+  catalog dependencies changed;
+* sampled re-profiling throttles fixed-point plans only;
+* ``SnapshotStore`` rotates, merges and auto-checkpoints.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import RavenSession, Snapshot, SnapshotStore, Table
+from repro.adaptive.feedback import FEEDBACK_FORMAT, FeedbackStore
+from repro.adaptive.profile import OperatorProfile, plan_fingerprint
+from repro.errors import PersistError
+from repro.onnxlite.convert import convert_pipeline
+from repro.persist import build_snapshot, plan_from_dict, plan_to_dict
+from repro.persist.plan_codec import expression_from_dict, expression_to_dict
+from repro.persist.snapshot import install_plans, table_digest
+from repro.relational.expressions import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    Cast,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    Literal,
+    UnaryOp,
+    col,
+    lit,
+)
+from repro.relational.logical import (
+    Aggregate,
+    AggregateSpec,
+    Filter,
+    Join,
+    JoinEdge,
+    Limit,
+    MultiJoin,
+    PlanNode,
+    Predict,
+    PredictMode,
+    Project,
+    Scan,
+    Sort,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.column import DataType
+from repro.storage.statistics import ColumnStats, TableStats
+
+
+def tables_equal_bitwise(a, b) -> bool:
+    if a.column_names != b.column_names:
+        return False
+    for name in a.column_names:
+        x, y = a.array(name), b.array(name)
+        if x.dtype != y.dtype or x.tobytes() != y.tobytes():
+            return False
+    return True
+
+
+MISESTIMATED_QUERY = """
+SELECT t.a, t.b
+FROM readings AS t
+WHERE t.a * t.a + t.a < 10.0 AND t.b * t.b + t.b < 0.01
+"""
+
+
+@pytest.fixture()
+def readings_table(rng) -> Table:
+    n = 4_000
+    return Table.from_arrays(
+        a=rng.uniform(0.0, 1.0, n),       # wide conjunct keeps ~100%
+        b=rng.uniform(0.0, 1.0, n),       # narrow conjunct keeps ~1%
+        c=rng.uniform(0.0, 1.0, n),
+    )
+
+
+def learned_session(readings_table, max_rounds: int = 12) -> RavenSession:
+    """An adaptive session whose misestimated plan reached a fixed point.
+
+    Converged = a cache-hit execution whose own profile produced no new
+    re-optimization (the entry survived, ``fixed_point`` set) — merely
+    hitting the cache is not enough, since per-conjunct cost timings are
+    noisy at test scale and can re-diverge a plan for a round or two.
+    """
+    session = RavenSession()
+    session.register_table("readings", readings_table)
+    for _ in range(max_rounds):
+        before = session.plan_cache.stats.reoptimizations
+        _, stats = session.sql_with_stats(MISESTIMATED_QUERY)
+        if stats.cache_hit \
+                and session.plan_cache.stats.reoptimizations == before:
+            break
+    assert session.plan_cache.stats.reoptimizations >= 1
+    return session
+
+
+# ---------------------------------------------------------------------------
+# Expression codec
+# ---------------------------------------------------------------------------
+
+EXPRESSIONS = [
+    ColumnRef("t.a"),
+    Literal(3),
+    Literal(2.5),
+    Literal(True),
+    Literal("yes"),
+    Literal(1, DataType.FLOAT),  # explicit dtype survives
+    BinaryOp("+", col("t.a"), lit(1.0)),
+    BinaryOp("and", col("t.a").gt(lit(0.0)), col("t.b").le(lit(1.0))),
+    BinaryOp("/", col("t.a"), col("t.b")),
+    UnaryOp("not", col("t.flag").eq(lit(1))),
+    UnaryOp("-", col("t.a")),
+    FunctionCall("sigmoid", [col("t.a")]),
+    FunctionCall("pow", [col("t.a"), lit(2.0)]),
+    CaseWhen([(col("t.a").gt(lit(0.5)), lit(1.0)),
+              (col("t.a").gt(lit(0.1)), lit(0.5))], lit(0.0)),
+    InList(col("t.kind"), ["a", "b", "c"]),
+    InList(col("t.n"), [1, 2, 3]),
+    Between(col("t.a"), lit(0.25), lit(0.75)),
+    Cast(col("t.n"), DataType.FLOAT),
+]
+
+
+class TestExpressionCodec:
+    @pytest.mark.parametrize("expr", EXPRESSIONS, ids=lambda e: repr(e))
+    def test_round_trip_is_structural_identity(self, expr):
+        payload = expression_to_dict(expr)
+        rebuilt = expression_from_dict(json.loads(json.dumps(payload)))
+        assert rebuilt == expr            # structural equality
+        assert repr(rebuilt) == repr(expr)
+        assert expression_to_dict(rebuilt) == payload
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(PersistError):
+            expression_from_dict({"t": "mystery"})
+
+
+# ---------------------------------------------------------------------------
+# Plan codec
+# ---------------------------------------------------------------------------
+
+def _multijoin() -> MultiJoin:
+    edges = [JoinEdge(0, 1, "f.k1", "d1.k"), JoinEdge(0, 2, "f.k2", "d2.k")]
+    return MultiJoin([Scan("fact", "f"), Scan("dim1", "d1"),
+                      Scan("dim2", "d2")], edges, order=[1, 0, 2])
+
+
+def _plans(dt_pipeline):
+    graph = convert_pipeline(dt_pipeline, name="risk")
+    scan = Scan("patients", "d", ["id", "age"])
+    yield scan
+    yield Filter(scan, col("d.age").gt(lit(40.0)))
+    yield Project(scan, [("id", col("d.id")),
+                         ("age2", col("d.age") * lit(2.0))])
+    yield Join(Scan("l"), Scan("r"), ["l.k"], ["r.k"], how="left")
+    yield Join(Scan("l"), Scan("r"), ["l.k", "l.j"], ["r.k", "r.j"],
+               how="inner", build_side="left")
+    yield _multijoin()
+    yield Aggregate(scan, ["d.id"], [AggregateSpec("n", "count"),
+                                     AggregateSpec("m", "avg", "d.age")])
+    yield Sort(scan, [("d.age", False), ("d.id", True)])
+    yield Limit(scan, 7)
+    yield Predict(scan, "risk", graph,
+                  {"age": "d.age"}, [("score", "probability", DataType.FLOAT)],
+                  keep_columns=["d.id"], mode=PredictMode.ML_RUNTIME,
+                  batch_rows=4096)
+
+
+class TestPlanCodec:
+    def test_round_trip_every_node_type(self, dt_pipeline):
+        for plan in _plans(dt_pipeline):
+            payload = plan_to_dict(plan)
+            rebuilt = plan_from_dict(json.loads(json.dumps(payload)))
+            # The dict form is a fixed point and the structural
+            # fingerprint (which ignores pure annotations) is preserved.
+            assert plan_to_dict(rebuilt) == payload
+            assert plan_fingerprint(rebuilt) == plan_fingerprint(plan)
+            assert rebuilt.pretty() == plan.pretty()
+
+    def test_annotations_survive(self, dt_pipeline):
+        plans = list(_plans(dt_pipeline))
+        join = plan_from_dict(plan_to_dict(plans[4]))
+        assert join.build_side == "left" and join.how == "inner"
+        multi = plan_from_dict(plan_to_dict(plans[5]))
+        assert multi.order == [1, 0, 2]
+        assert multi.edges == _multijoin().edges
+        predict = plan_from_dict(plan_to_dict(plans[9]))
+        assert predict.batch_rows == 4096
+        assert predict.mode is PredictMode.ML_RUNTIME
+        assert predict.keep_columns == ["d.id"]
+
+    def test_plannode_convenience_methods(self):
+        plan = Filter(Scan("t"), col("t.a").gt(lit(1)))
+        assert PlanNode.from_dict(plan.to_dict()).pretty() == plan.pretty()
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(PersistError):
+            plan_from_dict({"format": "repro-plan-v999", "root": {}})
+        with pytest.raises(PersistError):
+            plan_from_dict({"root": {"t": "scan"}})
+
+    def test_optimized_plans_round_trip_and_execute(self, session,
+                                                    covid_query):
+        queries = [
+            covid_query,
+            "SELECT pi.id, pi.age FROM patient_info AS pi "
+            "WHERE pi.age BETWEEN 30.0 AND 70.0 AND pi.asthma = 1 "
+            "ORDER BY id LIMIT 50",
+            "SELECT pi.smoker, COUNT(*) AS n, AVG(pi.bmi) AS bmi "
+            "FROM patient_info AS pi GROUP BY pi.smoker",
+            "SELECT pi.id FROM patient_info AS pi "
+            "JOIN pulmonary_test AS pt ON pi.id = pt.id "
+            "WHERE pt.bpm > 80.0",
+        ]
+        for query in queries:
+            plan, _ = session.optimize(query)
+            rebuilt = plan_from_dict(
+                json.loads(json.dumps(plan_to_dict(plan))))
+            assert rebuilt.pretty(session.catalog) == \
+                plan.pretty(session.catalog)
+            assert tables_equal_bitwise(session.execute_plan(rebuilt),
+                                        session.execute_plan(plan))
+
+
+# ---------------------------------------------------------------------------
+# Feedback export / merge
+# ---------------------------------------------------------------------------
+
+def _store_with(observations) -> FeedbackStore:
+    """observations: list of (fingerprint, rows_in, rows_out, seconds)."""
+    store = FeedbackStore()
+    for fingerprint, rows_in, rows_out, seconds in observations:
+        store.record_profile(OperatorProfile(
+            operator="Filter", fingerprint=fingerprint, calls=1,
+            rows_in=rows_in, rows_out=rows_out, seconds=seconds))
+    return store
+
+
+def _stores():
+    a = _store_with([("shared", 1000, 100, 0.010), ("only_a", 500, 5, 0.004)])
+    b = _store_with([("shared", 1000, 900, 0.020), ("only_b", 300, 30, 0.001)])
+    c = _store_with([("shared", 2000, 1000, 0.015), ("only_b", 300, 3, 0.002)])
+    for store in (b, c):
+        store.record_predict("model", rows=100, seconds=0.05)
+    return a, b, c
+
+
+def _operators(state) -> dict:
+    return state["operators"]
+
+
+class TestFeedbackMerge:
+    def test_export_import_round_trip(self):
+        a, _, _ = _stores()
+        fresh = FeedbackStore()
+        fresh.merge_state(a.export_state())
+        assert _operators(fresh.export_state()) == _operators(a.export_state())
+        assert fresh.profiles_recorded == a.profiles_recorded
+
+    def test_merge_is_commutative_bit_for_bit(self):
+        a, b, _ = _stores()
+        ab = FeedbackStore()
+        ab.merge(a)
+        ab.merge(b)
+        ba = FeedbackStore()
+        ba.merge(b)
+        ba.merge(a)
+        state_ab, state_ba = ab.export_state(), ba.export_state()
+        assert _operators(state_ab) == _operators(state_ba)  # exact floats
+        assert state_ab["models"] == state_ba["models"]
+
+    def test_merge_is_associative_up_to_float_rounding(self):
+        a, b, c = _stores()
+        left = FeedbackStore()   # (a ⊕ b) ⊕ c
+        left.merge(a)
+        left.merge(b)
+        left.merge(c)
+        right = FeedbackStore()  # a ⊕ (b ⊕ c)
+        bc = FeedbackStore()
+        bc.merge(b)
+        bc.merge(c)
+        right.merge(a)
+        right.merge(bc)
+        ops_left = _operators(left.export_state())
+        ops_right = _operators(right.export_state())
+        assert set(ops_left) == set(ops_right)
+        for fingerprint, entry in ops_left.items():
+            other = ops_right[fingerprint]
+            for field, value in entry.items():
+                if isinstance(value, float):
+                    assert other[field] == pytest.approx(value), field
+                else:
+                    assert other[field] == value, field
+
+    def test_merge_identity(self):
+        a, _, _ = _stores()
+        before = _operators(a.export_state())
+        a.merge(FeedbackStore())
+        assert _operators(a.export_state()) == before
+
+    def test_merge_is_drift_safe(self):
+        # Converged workers (fast == slow everywhere) must merge into a
+        # converged union: the merge can never manufacture drift.
+        a = _store_with([("shared", 1000, 100, 0.010)])
+        b = _store_with([("shared", 1000, 500, 0.020)])
+        for store in (a, b):
+            for entry in _operators(store.export_state()).values():
+                assert entry["selectivity_fast"] == entry["selectivity_slow"]
+        a.merge(b)
+        entry = _operators(a.export_state())["shared"]
+        assert entry["selectivity_fast"] == entry["selectivity_slow"]
+        assert a.drift_score("shared") == 0.0
+
+    def test_merge_weighted_by_calls(self):
+        heavy = _store_with([("fp", 1000, 100, 0.01)] * 9)  # sel 0.1, 9 calls
+        light = _store_with([("fp", 1000, 900, 0.01)])      # sel 0.9, 1 call
+        heavy.merge(light)
+        merged = heavy.observed("fp")
+        # EWMA states merge by calls: 9 parts converged-at-0.1, 1 at 0.9.
+        assert merged.calls == 10
+        assert merged.selectivity_fast == pytest.approx(
+            (9 * 0.1 + 1 * 0.9) / 10)
+
+    def test_merge_respects_lru_bound_and_counts_evictions(self):
+        small = FeedbackStore(max_operator_entries=3)
+        big = _store_with([(f"fp{i}", 100, 10, 0.001) for i in range(8)])
+        small.merge(big)
+        assert len(small) <= 3
+        assert small.stats.operator_evictions >= 5
+        assert small.stats.merges == 1
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(PersistError):
+            FeedbackStore().merge_state({"format": "nope"})
+        with pytest.raises(PersistError, match=FEEDBACK_FORMAT):
+            FeedbackStore().merge_state({})
+
+    def test_malformed_payload_is_all_or_nothing(self):
+        a, _, _ = _stores()
+        state = a.export_state()
+        state["operators"]["broken"] = {"operator": "Filter"}  # missing calls
+        target = FeedbackStore()
+        with pytest.raises(PersistError):
+            target.merge_state(state)
+        # Nothing folded in before the malformed entry was found.
+        assert len(target) == 0
+        assert target.profiles_recorded == 0
+        assert target.stats.merges == 0
+
+    def test_malformed_feedback_degrades_warm_start(self, tmp_path):
+        session = RavenSession()
+        snapshot = session.snapshot()
+        snapshot.feedback = {"format": FEEDBACK_FORMAT,
+                             "operators": {"x": {"operator": "f"}}}
+        warm = RavenSession(warm_start=snapshot)  # must not raise
+        assert len(warm.feedback) == 0
+
+
+# ---------------------------------------------------------------------------
+# Statistics persistence
+# ---------------------------------------------------------------------------
+
+class TestStatsPersistence:
+    def test_table_stats_round_trip(self, patients_table):
+        stats = TableStats.collect(patients_table)
+        rebuilt = TableStats.from_dict(
+            json.loads(json.dumps(stats.to_dict())))
+        assert rebuilt.row_count == stats.row_count
+        assert set(rebuilt.columns) == set(stats.columns)
+        for name, column in stats.columns.items():
+            assert rebuilt.columns[name] == column  # frozen dataclass eq
+
+    def test_fill_missing_prefers_live_values(self):
+        live = ColumnStats("x", DataType.FLOAT, 100, min_value=0.0,
+                           max_value=1.0, distinct_count=None)
+        persisted = ColumnStats("x", DataType.FLOAT, 90, min_value=-5.0,
+                                max_value=9.0, distinct_count=42)
+        filled = live.fill_missing(persisted)
+        assert filled.min_value == 0.0 and filled.max_value == 1.0  # live wins
+        assert filled.distinct_count == 42                          # gap filled
+        # dtype mismatch: nothing leaks in
+        wrong = ColumnStats("x", DataType.STRING, 90, distinct_count=7)
+        assert live.fill_missing(wrong) == live
+
+    def test_catalog_augment_stats(self, patients_table):
+        catalog = Catalog()
+        catalog.add_table("patients", patients_table)
+        version = catalog.version
+        entry = catalog.table("patients")
+        # Simulate a live collection that skipped distinct counts.
+        entry.stats.columns["age"] = ColumnStats(
+            "age", DataType.FLOAT, patients_table.num_rows,
+            min_value=0.0, max_value=100.0, distinct_count=None)
+        persisted = TableStats(row_count=patients_table.num_rows)
+        persisted.columns["age"] = ColumnStats(
+            "age", DataType.FLOAT, patients_table.num_rows,
+            min_value=0.0, max_value=100.0, distinct_count=61)
+        assert catalog.augment_stats("patients", persisted)
+        assert catalog.table("patients").stats.column("age").distinct_count \
+            == 61
+        assert catalog.version == version  # estimates never bump versions
+        assert not catalog.augment_stats("ghost", persisted)
+
+
+# ---------------------------------------------------------------------------
+# Session snapshots & warm start
+# ---------------------------------------------------------------------------
+
+class TestWarmStart:
+    def test_save_load_round_trip_file(self, tmp_path, readings_table):
+        session = learned_session(readings_table)
+        path = session.save_snapshot(tmp_path / "snap.json")
+        snapshot = Snapshot.load(path)
+        assert len(snapshot.plans) == 1
+        assert snapshot.feedback is not None
+        assert "readings" in snapshot.table_stats
+
+    def test_warm_started_first_call_is_a_cache_hit(self, tmp_path,
+                                                    readings_table):
+        session = learned_session(readings_table)
+        path = session.save_snapshot(tmp_path / "snap.json")
+
+        warm = RavenSession(warm_start=path)
+        assert len(warm.plan_cache) == 0      # pending until registration
+        warm.register_table("readings", readings_table)
+        assert warm.plan_cache.stats.restored == 1
+
+        result, stats = warm.sql_with_stats(MISESTIMATED_QUERY)
+        assert stats.cache_hit
+        assert warm.plan_cache.stats.reoptimizations == 0
+
+        oracle = RavenSession(adaptive=False)
+        oracle.register_table("readings", readings_table)
+        assert tables_equal_bitwise(result, oracle.sql(MISESTIMATED_QUERY))
+
+    def test_warm_start_after_registration(self, readings_table):
+        session = learned_session(readings_table)
+        warm = RavenSession()
+        warm.register_table("readings", readings_table)
+        summary = warm.load_snapshot(session.snapshot())
+        assert summary["plans_installed"] == 1
+        assert summary["plans_pending"] == 0
+        _, stats = warm.sql_with_stats(MISESTIMATED_QUERY)
+        assert stats.cache_hit
+
+    def test_loaded_plan_matches_fresh_optimization(self, readings_table):
+        session = learned_session(readings_table)
+        warm = RavenSession(warm_start=session.snapshot())
+        warm.register_table("readings", readings_table)
+        (_, entry), = warm.plan_cache.entries()
+        fresh, _ = session.optimize(MISESTIMATED_QUERY)  # feedback-aware
+        assert entry.plan.pretty(warm.catalog) == \
+            fresh.pretty(session.catalog)
+        assert entry.fixed_point
+
+    def test_schema_change_drops_stale_entries(self, readings_table, rng):
+        session = learned_session(readings_table)
+        warm = RavenSession(warm_start=session.snapshot())
+        different = Table.from_arrays(a=rng.uniform(0, 1, 100),
+                                      b=rng.choice(["x", "y"], 100))
+        warm.register_table("readings", different)  # same name, new schema
+        assert warm.plan_cache.stats.restored == 0
+        assert len(warm.plan_cache) == 0
+
+    def test_predict_plans_survive_snapshots(self, tmp_path, patients_table,
+                                             pulmonary_table, dt_pipeline,
+                                             covid_query):
+        def make(warm_start=None):
+            sess = RavenSession(warm_start=warm_start)
+            sess.register_table("patient_info", patients_table,
+                                primary_key=["id"])
+            sess.register_table("pulmonary_test", pulmonary_table,
+                                primary_key=["id"])
+            sess.register_model("covid_risk", dt_pipeline)
+            return sess
+
+        session = make()
+        expected = session.sql(covid_query)
+        path = session.save_snapshot(tmp_path / "predict.json")
+
+        warm = make(warm_start=path)
+        assert warm.plan_cache.stats.restored == 1
+        result, stats = warm.sql_with_stats(covid_query)
+        assert stats.cache_hit
+        assert tables_equal_bitwise(result, expected)
+
+    def test_model_change_drops_predict_plans(self, tmp_path, patients_table,
+                                              pulmonary_table, dt_pipeline,
+                                              lr_pipeline, covid_query):
+        session = RavenSession()
+        session.register_table("patient_info", patients_table,
+                               primary_key=["id"])
+        session.register_table("pulmonary_test", pulmonary_table,
+                               primary_key=["id"])
+        session.register_model("covid_risk", dt_pipeline)
+        session.sql(covid_query)
+
+        warm = RavenSession(warm_start=session.snapshot())
+        warm.register_table("patient_info", patients_table,
+                            primary_key=["id"])
+        warm.register_table("pulmonary_test", pulmonary_table,
+                            primary_key=["id"])
+        warm.register_model("covid_risk", lr_pipeline)  # different model
+        assert warm.plan_cache.stats.restored == 0
+        # The query still answers correctly through the ordinary path.
+        result, stats = warm.sql_with_stats(covid_query)
+        assert not stats.cache_hit
+        assert result.num_rows >= 0
+
+    def test_feedback_merges_from_two_workers(self, readings_table):
+        worker_a = learned_session(readings_table)
+        worker_b = learned_session(readings_table)
+        fresh = RavenSession()
+        fresh.load_snapshot(worker_a.snapshot())
+        fresh.load_snapshot(worker_b.snapshot())
+        assert fresh.feedback.stats.merges == 2
+        assert len(fresh.feedback) > 0
+
+    def test_snapshot_restored_entries_obey_invalidation(self, readings_table):
+        session = learned_session(readings_table)
+        warm = RavenSession(warm_start=session.snapshot())
+        warm.register_table("readings", readings_table)
+        assert warm.plan_cache.stats.restored == 1
+        warm.register_table("readings", readings_table, replace=True)
+        assert len(warm.plan_cache) == 0  # eager invalidation dropped it
+
+
+class TestSampledReprofiling:
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RavenSession(profile_sample_rate=0)
+
+    def test_fixed_point_plans_profile_every_nth_call(self, readings_table):
+        session = RavenSession(profile_sample_rate=4)
+        session.register_table("readings", readings_table)
+        query = "SELECT t.a FROM readings AS t WHERE t.a < 0.5"
+        profiled = []
+        for _ in range(10):
+            _, stats = session.sql_with_stats(query)
+            profiled.append(stats.operator_profiles is not None)
+        # Call 1 (miss) profiles and reaches the fixed point; hits then
+        # profile only when entry.hits % 4 == 0 (hits 4 and 8).
+        assert profiled == [True, False, False, False, True,
+                            False, False, False, True, False]
+        assert session.feedback.profiles_recorded == 3
+
+    def test_converging_plans_always_profile(self, readings_table):
+        session = RavenSession(profile_sample_rate=1000)
+        session.register_table("readings", readings_table)
+        for _ in range(4):
+            session.sql_with_stats(MISESTIMATED_QUERY)
+        # The misestimated plan must still re-optimize promptly: sampling
+        # never throttles a plan that has not reached its fixed point.
+        assert session.plan_cache.stats.reoptimizations >= 1
+
+    def test_drift_fires_on_sampled_profiles(self, readings_table):
+        session = RavenSession(profile_sample_rate=2)
+        session.register_table("readings", readings_table)
+        query = "SELECT t.a FROM readings AS t WHERE t.a < 0.5"
+        for _ in range(6):
+            session.sql_with_stats(query)
+        profiles_before = session.feedback.profiles_recorded
+        for _ in range(4):
+            session.sql_with_stats(query)
+        assert session.feedback.profiles_recorded > profiles_before
+
+
+class TestSnapshotStore:
+    def test_rotation_keeps_newest(self, tmp_path, readings_table):
+        session = learned_session(readings_table)
+        store = SnapshotStore(tmp_path / "checkpoints", keep=2)
+        for _ in range(3):
+            store.save(session)
+        paths = store.paths()
+        assert len(paths) == 2
+        assert paths[-1].name.endswith("-000003.json")
+        assert store.latest() == paths[-1]
+        assert len(store.load_latest().plans) == 1
+
+    def test_load_merged_unions_workers(self, tmp_path, readings_table):
+        store = SnapshotStore(tmp_path / "checkpoints")
+        store.save(learned_session(readings_table))
+        store.save(learned_session(readings_table))
+        merged = store.load_merged()
+        assert len(merged.plans) == 1  # same key: deduplicated
+        assert merged.feedback is not None
+        warm = RavenSession(warm_start=merged)
+        warm.register_table("readings", readings_table)
+        _, stats = warm.sql_with_stats(MISESTIMATED_QUERY)
+        assert stats.cache_hit
+        assert warm.plan_cache.stats.reoptimizations == 0
+
+    def test_cumulative_checkpoints_do_not_double_count(self, tmp_path,
+                                                        readings_table):
+        # Successive checkpoints of ONE worker are cumulative; the fleet
+        # union must take its newest snapshot only, or every observation
+        # (calls, profiles_recorded) would be counted once per retained
+        # checkpoint.
+        session = learned_session(readings_table)
+        store = SnapshotStore(tmp_path / "one-worker")
+        store.save(session)
+        session.sql(MISESTIMATED_QUERY)  # a little more traffic
+        store.save(session)
+        assert len(store.paths()) == 2
+        merged = store.load_merged()
+        latest = store.load_latest()
+        assert merged.feedback["profiles_recorded"] \
+            == latest.feedback["profiles_recorded"]
+        assert merged.feedback["operators"] == latest.feedback["operators"]
+
+    def test_concurrent_workers_never_clobber_checkpoints(self, tmp_path,
+                                                          readings_table):
+        # Origins are embedded in the file names, so two worker processes
+        # saving "the next sequence" can never overwrite each other.
+        store = SnapshotStore(tmp_path / "fleet")
+        path_a = store.save(learned_session(readings_table))
+        path_b = store.save(learned_session(readings_table))
+        assert path_a != path_b
+        assert path_a.exists() and path_b.exists()
+        assert len(store.paths()) == 2
+        # Rotation is per origin: worker A's churn keeps B's checkpoint.
+        chatty = learned_session(readings_table)
+        for _ in range(store.keep + 2):
+            store.save(chatty)
+        assert path_b.exists()
+
+    def test_load_merged_skips_corrupt_checkpoints(self, tmp_path,
+                                                   readings_table):
+        store = SnapshotStore(tmp_path / "torn")
+        good = store.save(learned_session(readings_table))
+        torn = good.with_name(good.name.replace("-000001", "-000002"))
+        torn.write_text("{half a json")  # worker killed mid-write
+        merged = store.load_merged()     # newest-per-origin is the torn one
+        # Degraded (the torn checkpoint contributes nothing), not a crash.
+        assert merged is not None
+        assert merged.plans == [] and merged.feedback is None
+
+    def test_foreign_origins_are_sanitized_into_the_filename_grammar(
+            self, tmp_path):
+        # A hand-set origin that doesn't fit the filename pattern must
+        # still produce files the store can see (scan/rotate/merge) —
+        # and deterministically, so its own checkpoints still dedup.
+        store = SnapshotStore(tmp_path / "foreign")
+        first = store.save(Snapshot(origin="Worker-A!"))
+        second = store.save(Snapshot(origin="Worker-A!"))
+        assert store.paths() == [first, second]
+        assert first.name != second.name           # sequenced, not clobbered
+        assert first.name.split("-")[1] == second.name.split("-")[1]
+        assert store.load_merged() is not None
+
+    def test_latest_is_by_write_time_not_cross_origin_sequence(
+            self, tmp_path, readings_table):
+        import os
+        store = SnapshotStore(tmp_path / "fleet")
+        veteran = learned_session(readings_table)
+        old_paths = [store.save(veteran) for _ in range(3)]  # seq up to 3
+        fresh_path = store.save(learned_session(readings_table))  # seq 1
+        past = 1_000_000_000
+        for index, path in enumerate(old_paths):
+            os.utime(path, (past + index, past + index))  # decommissioned
+        # Sequence 3 < 1 across origins: recency is write time.
+        assert store.latest() == fresh_path
+
+    def test_checkpoint_write_failure_never_fails_the_query(
+            self, tmp_path, readings_table):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file where the directory should be")
+        session = RavenSession()
+        session.register_table("readings", readings_table)
+        store = SnapshotStore(blocked / "sub")  # mkdir will raise OSError
+        store.attach(session, every_reoptimizations=1)
+        for _ in range(6):
+            session.sql_with_stats(MISESTIMATED_QUERY)  # must not raise
+        assert session.plan_cache.stats.reoptimizations >= 1
+        assert store.paths() == []
+
+    def test_load_merged_skips_non_dict_json(self, tmp_path, readings_table):
+        store = SnapshotStore(tmp_path / "odd")
+        good = store.save(learned_session(readings_table))
+        bad = good.with_name(good.name.replace(good.name.split("-")[1],
+                                               "deadbeef"))
+        bad.write_text("[]")  # valid JSON, wrong shape, distinct origin
+        merged = store.load_merged()
+        assert merged is not None and len(merged.plans) == 1
+
+    def test_warm_started_generations_do_not_double_count(self, tmp_path,
+                                                          readings_table):
+        # Worker A checkpoints; worker B warm-starts from the merged view
+        # and checkpoints into the same store. B's snapshot re-exports
+        # A's observations, so the union must include B's snapshot ONLY —
+        # counting A's again would double its weight in every merge.
+        store = SnapshotStore(tmp_path / "generations")
+        worker_a = learned_session(readings_table)
+        store.save(worker_a)
+        baseline = store.load_merged().feedback["profiles_recorded"]
+
+        worker_b = RavenSession(warm_start=store.load_merged())
+        worker_b.register_table("readings", readings_table)
+        store.save(worker_b)
+        assert len(store.paths()) == 2  # both generations retained
+
+        merged = store.load_merged()
+        # B's snapshot (= A's knowledge, zero new traffic) is the only
+        # contribution; A's file is covered by B's ancestry.
+        assert merged.feedback["profiles_recorded"] == baseline
+        assert merged.ancestors  # provenance survives another generation
+
+    def test_file_with_malformed_plans_contributes_nothing(self, tmp_path,
+                                                           readings_table):
+        import json as json_module
+        store = SnapshotStore(tmp_path / "allornothing")
+        good = store.save(learned_session(readings_table))
+        payload = json_module.loads(good.read_text())
+        payload["origin"] = "deadbeef"  # a distinct (corrupt) worker
+        payload["plans"][0].pop("template")
+        bad = good.with_name(good.name.replace(good.name.split("-")[1],
+                                               "deadbeef"))
+        bad.write_text(json_module.dumps(payload))
+        merged = store.load_merged()
+        # The corrupt file is excluded wholly — its feedback must not
+        # ride in while its plans are dropped.
+        assert len(merged.plans) == 1
+        good_profiles = json_module.loads(
+            good.read_text())["feedback"]["profiles_recorded"]
+        assert merged.feedback["profiles_recorded"] == good_profiles
+
+    def test_empty_store(self, tmp_path):
+        store = SnapshotStore(tmp_path / "nothing")
+        assert store.paths() == []
+        assert store.latest() is None
+        assert store.load_merged() is None
+
+    def test_auto_checkpoint_every_reoptimization(self, tmp_path,
+                                                  readings_table):
+        session = RavenSession()
+        session.register_table("readings", readings_table)
+        store = SnapshotStore(tmp_path / "auto")
+        store.attach(session, every_reoptimizations=1)
+        # A checkpoint is written on the first profiled run where the
+        # *replacement* plan shows no divergence — under timing noise the
+        # conjunct-cost ranking can re-diverge for a round or two, so
+        # loop until the checkpoint lands rather than until a cache hit.
+        for _ in range(12):
+            session.sql_with_stats(MISESTIMATED_QUERY)
+            if store.paths():
+                break
+        assert session.plan_cache.stats.reoptimizations >= 1
+        assert store.paths(), "re-optimization did not checkpoint"
+        snapshot = store.load_latest()
+        assert len(snapshot.plans) >= 1
+        store.detach(session)
+
+    def test_snapshot_of_empty_session(self, tmp_path):
+        session = RavenSession()
+        path = session.save_snapshot(tmp_path / "empty.json")
+        warm = RavenSession(warm_start=path)
+        assert len(warm.plan_cache) == 0
+
+
+class TestSnapshotFormat:
+    def test_unversioned_payloads_rejected(self, tmp_path):
+        with pytest.raises(PersistError):
+            Snapshot.from_dict({"plans": []})
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(PersistError):
+            Snapshot.load(path)
+        with pytest.raises(PersistError):
+            Snapshot.load(tmp_path / "missing.json")
+
+    def test_malformed_plan_entries_are_dropped(self, readings_table):
+        session = learned_session(readings_table)
+        snapshot = session.snapshot()
+        snapshot.plans[0]["plan"]["root"] = {"t": "mystery"}
+        warm = RavenSession()
+        warm.register_table("readings", readings_table)
+        summary = warm.load_snapshot(snapshot)
+        assert summary["plans_dropped"] == 1
+        assert summary["plans_installed"] == 0
+
+    def test_wrong_typed_payload_fields_never_crash_warm_start(
+            self, readings_table):
+        # Valid JSON, wrong shapes: dependencies as a list, params as a
+        # string, a non-dict plan. Warm start must degrade, not raise.
+        session = learned_session(readings_table)
+        good = session.snapshot()
+        for corruption in (
+            {"dependencies": ["table:readings"]},
+            {"params": "oops"},
+            {"plan": 17},
+        ):
+            snapshot = Snapshot.from_dict(
+                json.loads(json.dumps(good.to_dict())))
+            snapshot.plans[0].update(corruption)
+            warm = RavenSession(warm_start=snapshot)
+            warm.register_table("readings", readings_table)
+            result, stats = warm.sql_with_stats(MISESTIMATED_QUERY)
+            assert result.num_rows >= 0  # session fully functional
+
+    def test_install_plans_helper_reports_pending(self, readings_table):
+        session = learned_session(readings_table)
+        snapshot = session.snapshot()
+        cache_session = RavenSession()  # nothing registered yet
+        installed, pending, dropped = install_plans(
+            cache_session.plan_cache, cache_session.catalog, snapshot.plans)
+        assert (installed, dropped) == (0, 0)
+        assert len(pending) == 1
+
+    def test_table_digest_tracks_schema_and_pk(self, patients_table):
+        catalog = Catalog()
+        catalog.add_table("plain", patients_table)
+        catalog.add_table("keyed", patients_table, primary_key=["id"])
+        assert table_digest(catalog.table("plain")) \
+            != table_digest(catalog.table("keyed"))
+
+    def test_build_snapshot_skips_dropped_dependencies(self, readings_table):
+        session = learned_session(readings_table)
+        session.catalog.drop_table("readings")
+        snapshot = build_snapshot(session)
+        assert snapshot.plans == []  # entry's dependency vanished
