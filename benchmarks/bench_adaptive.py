@@ -16,11 +16,9 @@ between both sessions before timing, and persisted to
 ``benchmarks/results/bench_adaptive.json`` at full scale.
 """
 
-import json
-
 import numpy as np
 
-from benchmarks._util import RESULTS_DIR, run_report
+from benchmarks._util import RESULTS_DIR, run_report, write_bench_json
 from repro import RavenSession, Table
 from repro.bench.harness import ReportTable, scaled, timed
 
@@ -132,22 +130,21 @@ def _adaptive_report() -> ReportTable:
         f"(required >= {required:.1f}x at {ROWS} rows)"
     )
 
-    if ROWS >= FULL_SCALE_ROWS:
-        # Only full-scale runs update the committed perf-trajectory
-        # artifact; CI smoke runs must not clobber it with tiny-row noise.
-        RESULTS_DIR.mkdir(exist_ok=True)
-        JSON_PATH.write_text(json.dumps({
-            "bench": "adaptive",
-            "rows": ROWS,
-            "target_selectivities": list(TARGET_SELECTIVITIES),
-            "static_seconds": static_seconds,
-            "adaptive_seconds": adaptive_seconds,
-            "speedup": speedup,
-            "reoptimizations": reoptimizations,
-            "warm_rounds": warm_rounds,
-        }, indent=2) + "\n")
-    else:
-        report.note(f"reduced scale ({ROWS} rows): "
+    # Full-scale runs update the committed perf-trajectory artifact; CI
+    # smoke runs write to results/smoke/ instead (tiny-row noise must
+    # not clobber the committed trajectory).
+    full_scale = ROWS >= FULL_SCALE_ROWS
+    write_bench_json("adaptive", {
+        "rows": ROWS,
+        "target_selectivities": list(TARGET_SELECTIVITIES),
+        "static_seconds": static_seconds,
+        "adaptive_seconds": adaptive_seconds,
+        "speedup": speedup,
+        "reoptimizations": reoptimizations,
+        "warm_rounds": warm_rounds,
+    }, full_scale=full_scale)
+    if not full_scale:
+        report.note(f"reduced scale ({ROWS} rows): smoke record written, "
                     f"{JSON_PATH.name} left untouched")
     return report
 

@@ -20,11 +20,9 @@ Results are persisted both as the usual text table and as
 BENCH artifact, so later PRs can track the perf trajectory.
 """
 
-import json
-
 import numpy as np
 
-from benchmarks._util import RESULTS_DIR, run_report
+from benchmarks._util import RESULTS_DIR, run_report, write_bench_json
 from repro.bench.harness import ReportTable, scaled, timed
 from repro.core.rules.ml_to_sql import tree_to_expression
 from repro.learn.tree import TreeNode
@@ -146,20 +144,18 @@ def _expression_report() -> ReportTable:
         f"interpreted (required >= {required:.1f}x at {deep['rows']} rows)"
     )
 
-    if deep["rows"] >= FULL_SCALE_ROWS:
-        # Only full-scale runs update the committed perf-trajectory
-        # artifact; CI smoke / reduced-RAVEN_SCALE runs must not clobber
-        # it with tiny-row noise.
-        RESULTS_DIR.mkdir(exist_ok=True)
-        JSON_PATH.write_text(json.dumps({
-            "bench": "expressions",
-            "tree_depth": TREE_DEPTH,
-            "wide_outputs": WIDE_OUTPUTS,
-            "workloads": results,
-        }, indent=2) + "\n")
-    else:
-        report.note(f"reduced scale ({deep['rows']} rows): "
-                    f"{JSON_PATH.name} left untouched")
+    # Full-scale runs update the committed perf-trajectory artifact; CI
+    # smoke / reduced-RAVEN_SCALE runs write to results/smoke/ instead so
+    # tiny-row noise never clobbers the committed trajectory.
+    full_scale = deep["rows"] >= FULL_SCALE_ROWS
+    write_bench_json("expressions", {
+        "tree_depth": TREE_DEPTH,
+        "wide_outputs": WIDE_OUTPUTS,
+        "workloads": results,
+    }, full_scale=full_scale)
+    if not full_scale:
+        report.note(f"reduced scale ({deep['rows']} rows): smoke record "
+                    f"written, {JSON_PATH.name} left untouched")
     return report
 
 

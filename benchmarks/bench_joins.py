@@ -19,11 +19,9 @@ canonical output order makes reordering invisible), and persisted to
 ``benchmarks/results/bench_joins.json`` at full scale.
 """
 
-import json
-
 import numpy as np
 
-from benchmarks._util import RESULTS_DIR, run_report
+from benchmarks._util import RESULTS_DIR, run_report, write_bench_json
 from repro import RavenSession, Table
 from repro.bench.harness import ReportTable, scaled, timed
 from repro.learn import LogisticRegression, make_standard_pipeline
@@ -169,24 +167,23 @@ def _joins_report() -> ReportTable:
         f"(required >= {required:.1f}x at {ROWS} fact rows)"
     )
 
-    if ROWS >= FULL_SCALE_ROWS:
-        # Only full-scale runs update the committed perf-trajectory
-        # artifact; CI smoke runs must not clobber it with tiny-row noise.
-        RESULTS_DIR.mkdir(exist_ok=True)
-        JSON_PATH.write_text(json.dumps({
-            "bench": "joins",
-            "fact_rows": ROWS,
-            "sparse_match_fraction": SPARSE_MATCH_FRACTION,
-            "static_seconds": static_seconds,
-            "adaptive_seconds": adaptive_seconds,
-            "speedup": speedup,
-            "join_order": order,
-            "reoptimizations": reoptimizations,
-            "warm_rounds": warm_rounds,
-        }, indent=2) + "\n")
-    else:
-        report.note(f"reduced scale ({ROWS} fact rows): "
-                    f"{JSON_PATH.name} left untouched")
+    # Full-scale runs update the committed perf-trajectory artifact; CI
+    # smoke runs write to results/smoke/ instead (tiny-row noise must
+    # not clobber the committed trajectory).
+    full_scale = ROWS >= FULL_SCALE_ROWS
+    write_bench_json("joins", {
+        "fact_rows": ROWS,
+        "sparse_match_fraction": SPARSE_MATCH_FRACTION,
+        "static_seconds": static_seconds,
+        "adaptive_seconds": adaptive_seconds,
+        "speedup": speedup,
+        "join_order": list(order),
+        "reoptimizations": reoptimizations,
+        "warm_rounds": warm_rounds,
+    }, full_scale=full_scale)
+    if not full_scale:
+        report.note(f"reduced scale ({ROWS} fact rows): smoke record "
+                    f"written, {JSON_PATH.name} left untouched")
     return report
 
 

@@ -22,14 +22,13 @@ Acceptance gates (also run by the CI bench-smoke job):
 Full-scale runs persist ``benchmarks/results/bench_persist.json``.
 """
 
-import json
 import tempfile
 import time
 from pathlib import Path
 
 import numpy as np
 
-from benchmarks._util import RESULTS_DIR, run_report
+from benchmarks._util import RESULTS_DIR, run_report, write_bench_json
 from repro import RavenSession, Table
 from repro.bench.harness import ReportTable, scaled
 
@@ -169,18 +168,19 @@ def _persist_report() -> ReportTable:
         f"(required >= {required:.1f}x at {ROWS} rows)"
     )
 
-    if ROWS >= FULL_SCALE_ROWS:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        JSON_PATH.write_text(json.dumps({
-            "bench": "persist",
-            "rows": ROWS,
-            "target_selectivities": list(TARGET_SELECTIVITIES),
-            "cold_first_call_seconds": cold_seconds,
-            "warm_first_call_seconds": warm_seconds,
-            "speedup": speedup,
-        }, indent=2) + "\n")
-    else:
-        report.note(f"reduced scale ({ROWS} rows): "
+    # Full-scale runs update the committed perf-trajectory artifact; CI
+    # smoke runs write to results/smoke/ instead (tiny-row noise must
+    # not clobber the committed trajectory).
+    full_scale = ROWS >= FULL_SCALE_ROWS
+    write_bench_json("persist", {
+        "rows": ROWS,
+        "target_selectivities": list(TARGET_SELECTIVITIES),
+        "cold_first_call_seconds": cold_seconds,
+        "warm_first_call_seconds": warm_seconds,
+        "speedup": speedup,
+    }, full_scale=full_scale)
+    if not full_scale:
+        report.note(f"reduced scale ({ROWS} rows): smoke record written, "
                     f"{JSON_PATH.name} left untouched")
     return report
 

@@ -1,0 +1,62 @@
+"""Benchmark observatory: perf ledger, regression gates, trajectory report.
+
+The repo's bench wins are guarded here: every benchmark writes a
+provenance-stamped JSON (``schema``), each full-scale run appends one
+record per bench per commit to the committed ledger (``ledger``),
+noise-aware direction-annotated gates compare the current artifacts
+against a trailing window of that history (``gates``), and a
+deterministic renderer turns it all into ``benchmarks/REPORT.md``
+(``report``). ``python -m repro.obsv check|record|report`` (``cli``) is
+the shared entry point for CI and humans.
+"""
+
+from repro.obsv.gates import (
+    DEFAULT_GATES,
+    DEFAULT_TOLERANCE,
+    DEFAULT_WINDOW,
+    HIGHER_IS_BETTER,
+    LOWER_IS_BETTER,
+    Gate,
+    GateResult,
+    check_gate,
+    check_results,
+)
+from repro.obsv.ledger import Ledger, LedgerError
+from repro.obsv.report import render_report
+from repro.obsv.schema import (
+    BENCH_SCHEMA,
+    PROVENANCE_FIELDS,
+    RECORD_SCHEMA,
+    SCALE_FULL,
+    SCALE_SMOKE,
+    BenchRecord,
+    collect_provenance,
+    flatten_metrics,
+    git_head_sha,
+    validate_bench_json,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "RECORD_SCHEMA",
+    "PROVENANCE_FIELDS",
+    "SCALE_FULL",
+    "SCALE_SMOKE",
+    "BenchRecord",
+    "collect_provenance",
+    "flatten_metrics",
+    "git_head_sha",
+    "validate_bench_json",
+    "Ledger",
+    "LedgerError",
+    "Gate",
+    "GateResult",
+    "DEFAULT_GATES",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_WINDOW",
+    "HIGHER_IS_BETTER",
+    "LOWER_IS_BETTER",
+    "check_gate",
+    "check_results",
+    "render_report",
+]

@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.obsv check|record|report``."""
+
+import sys
+
+from repro.obsv.cli import main
+
+sys.exit(main())

@@ -1,0 +1,118 @@
+"""The append-only perf-trajectory ledger.
+
+``benchmarks/results/ledger.jsonl`` accumulates one
+:class:`~repro.obsv.schema.BenchRecord` line per bench per commit per
+scale class, in append (chronological) order. The file is committed, so
+the trajectory survives machines and CI runs; appends are idempotent
+(dedup by record key), so re-recording the same commit is a no-op.
+
+Loading is strict: a torn or malformed line fails the whole load with
+its line number rather than silently shortening history — a ledger that
+parses is a ledger you can gate on.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import json
+
+from repro.obsv.schema import SCALE_FULL, BenchRecord
+
+
+class LedgerError(ValueError):
+    """The ledger file is unreadable, torn, or schema-invalid."""
+
+
+class Ledger:
+    """In-memory view of the append-only record history."""
+
+    def __init__(self, records: Optional[Iterable[BenchRecord]] = None):
+        self.records: List[BenchRecord] = []
+        self._keys: Set[Tuple[str, str, str]] = set()
+        for record in records or ():
+            self.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __contains__(self, record: BenchRecord) -> bool:
+        return record.key in self._keys
+
+    @classmethod
+    def load(cls, path: Path) -> "Ledger":
+        """Parse a ledger file; a missing file is an empty ledger."""
+        path = Path(path)
+        ledger = cls()
+        if not path.exists():
+            return ledger
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if not line.strip():
+                continue
+            source = f"{path.name}:{lineno}"
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise LedgerError(f"{source}: torn or malformed line "
+                                  f"({exc.msg})") from exc
+            try:
+                record = BenchRecord.from_dict(doc, source=source)
+            except ValueError as exc:
+                raise LedgerError(str(exc)) from exc
+            if not ledger.append(record):
+                raise LedgerError(f"{source}: duplicate record for key "
+                                  f"{record.key}")
+        return ledger
+
+    def append(self, record: BenchRecord) -> bool:
+        """Add a record; False (and no change) if its key is already present."""
+        if record.key in self._keys:
+            return False
+        self.records.append(record)
+        self._keys.add(record.key)
+        return True
+
+    def append_to_file(self, path: Path, record: BenchRecord) -> bool:
+        """Idempotently append one record to this ledger *and* its file."""
+        if not self.append(record):
+            return False
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a") as handle:
+            handle.write(record.to_json_line() + "\n")
+        return True
+
+    def for_bench(self, bench: str, scale: str = SCALE_FULL) -> List[BenchRecord]:
+        """All records for one bench at one scale class, oldest first."""
+        return [r for r in self.records
+                if r.bench == bench and r.scale == scale]
+
+    def window(self, bench: str, *, scale: str = SCALE_FULL, limit: int = 5,
+               exclude_sha: Optional[str] = None) -> List[BenchRecord]:
+        """The trailing ``limit`` records for a bench, oldest first.
+
+        ``exclude_sha`` drops the record of the commit under test so a
+        candidate is always compared differentially against *prior*
+        history. Gaps are fine: the window is "last N recorded", not
+        "last N commits" — commits that never recorded simply don't
+        appear.
+        """
+        history = [r for r in self.for_bench(bench, scale=scale)
+                   if exclude_sha is None or r.sha != exclude_sha]
+        return history[-max(limit, 1):]
+
+    def benches(self, scale: Optional[str] = None) -> List[str]:
+        """Distinct bench names (optionally at one scale), sorted."""
+        names = {r.bench for r in self.records
+                 if scale is None or r.scale == scale}
+        return sorted(names)
+
+    def metric_values(self, bench: str, metric: str,
+                      scale: str = SCALE_FULL) -> Dict[str, float]:
+        """sha → value for one metric across a bench's history."""
+        out: Dict[str, float] = {}
+        for record in self.for_bench(bench, scale=scale):
+            if metric in record.metrics:
+                out[record.sha] = record.metrics[metric]
+        return out

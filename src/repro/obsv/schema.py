@@ -1,0 +1,215 @@
+"""Bench-artifact schema: provenance stamping, validation, records.
+
+Two related documents share this module:
+
+* a **bench JSON** (``benchmarks/results/bench_*.json``, schema
+  ``repro-bench-v1``) — the full payload one benchmark writes at one
+  scale, stamped with a ``provenance`` block (commit SHA, timestamp,
+  python/numpy versions, host hints, smoke-vs-full scale class);
+* a **ledger record** (one line of ``benchmarks/results/ledger.jsonl``,
+  schema ``repro-bench-record-v1``) — the flattened numeric metrics of
+  one bench JSON plus its provenance, the unit the trajectory ledger
+  accumulates per bench per commit.
+
+Provenance is collected once per bench run by
+:func:`collect_provenance` (shared by every bench via
+``benchmarks/_util.write_bench_json``), so every artifact answers
+"where did this number come from" the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import os
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+BENCH_SCHEMA = "repro-bench-v1"
+RECORD_SCHEMA = "repro-bench-record-v1"
+
+#: Scale classes: ``full`` runs update committed artifacts and gate the
+#: perf trajectory; ``smoke`` runs (reduced RAVEN_SCALE, e.g. CI) are
+#: recorded for visibility but never compared against full-scale history.
+SCALE_FULL = "full"
+SCALE_SMOKE = "smoke"
+SCALE_CLASSES = (SCALE_FULL, SCALE_SMOKE)
+
+#: Every bench JSON's provenance block must carry all of these.
+PROVENANCE_FIELDS = (
+    "sha", "timestamp", "python", "numpy", "platform", "cpus",
+    "raven_scale", "scale",
+)
+
+#: Placeholder for provenance facts that are genuinely unknowable (e.g.
+#: artifacts stamped retroactively from git history).
+UNKNOWN = "unknown"
+
+
+def git_head_sha(cwd: Optional[str] = None) -> str:
+    """The repo HEAD commit SHA, or ``"unknown"`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10, check=False,
+        )
+        if proc.returncode == 0 and proc.stdout.strip():
+            return proc.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return os.environ.get("GITHUB_SHA", UNKNOWN)
+
+
+def collect_provenance(scale: str, raven_scale: float,
+                       timestamp: str, sha: Optional[str] = None) -> Dict[str, object]:
+    """Build a provenance block for a bench run happening *now*.
+
+    ``timestamp`` is passed in (not read from the clock here) so writers
+    stamp one consistent time across a multi-table bench and tests stay
+    deterministic.
+    """
+    if scale not in SCALE_CLASSES:
+        raise ValueError(f"scale must be one of {SCALE_CLASSES}, got {scale!r}")
+    import numpy
+
+    return {
+        "sha": sha if sha is not None else git_head_sha(),
+        "timestamp": timestamp,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": f"{platform.system()}-{platform.machine()}",
+        "cpus": os.cpu_count() or 0,
+        "raven_scale": float(raven_scale),
+        "scale": scale,
+    }
+
+
+def flatten_metrics(payload: Mapping[str, object],
+                    prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a bench payload as dotted-path → float.
+
+    Bookkeeping keys (``schema``, ``bench``, ``provenance``) are not
+    metrics; bools are not metrics; lists of scalars (e.g. a join order)
+    are configuration, not metrics, and are skipped.
+    """
+    out: Dict[str, float] = {}
+    for key, value in payload.items():
+        if not prefix and key in ("schema", "bench", "provenance"):
+            continue
+        path = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, numbers.Real):
+            out[path] = float(value)
+        elif isinstance(value, Mapping):
+            out.update(flatten_metrics(value, prefix=f"{path}."))
+    return out
+
+
+def validate_bench_json(payload: object, source: str = "<payload>") -> List[str]:
+    """Problems with one bench JSON document; empty list means valid."""
+    problems: List[str] = []
+    if not isinstance(payload, Mapping):
+        return [f"{source}: not a JSON object"]
+    if payload.get("schema") != BENCH_SCHEMA:
+        problems.append(f"{source}: schema is {payload.get('schema')!r}, "
+                        f"expected {BENCH_SCHEMA!r}")
+    bench = payload.get("bench")
+    if not isinstance(bench, str) or not bench:
+        problems.append(f"{source}: missing non-empty 'bench' name")
+    provenance = payload.get("provenance")
+    if not isinstance(provenance, Mapping):
+        problems.append(f"{source}: missing 'provenance' block")
+    else:
+        for fname in PROVENANCE_FIELDS:
+            value = provenance.get(fname)
+            if value is None or value == "":
+                problems.append(f"{source}: provenance missing {fname!r}")
+        scale = provenance.get("scale")
+        if scale is not None and scale not in SCALE_CLASSES:
+            problems.append(f"{source}: provenance scale {scale!r} not in "
+                            f"{SCALE_CLASSES}")
+    if not flatten_metrics(payload):
+        problems.append(f"{source}: no numeric metrics found")
+    return problems
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One ledger line: one bench at one commit at one scale class."""
+
+    bench: str
+    sha: str
+    timestamp: str
+    scale: str
+    metrics: Dict[str, float]
+    env: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """Dedup identity: one record per (bench, sha, scale class)."""
+        return (self.bench, self.sha, self.scale)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": RECORD_SCHEMA,
+            "bench": self.bench,
+            "sha": self.sha,
+            "timestamp": self.timestamp,
+            "scale": self.scale,
+            "metrics": dict(self.metrics),
+            "env": dict(self.env),
+        }
+
+    def to_json_line(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, object],
+                  source: str = "<record>") -> "BenchRecord":
+        if not isinstance(doc, Mapping):
+            raise ValueError(f"{source}: not a JSON object")
+        if doc.get("schema") != RECORD_SCHEMA:
+            raise ValueError(f"{source}: schema is {doc.get('schema')!r}, "
+                             f"expected {RECORD_SCHEMA!r}")
+        for fname in ("bench", "sha", "timestamp", "scale"):
+            if not isinstance(doc.get(fname), str) or not doc.get(fname):
+                raise ValueError(f"{source}: missing non-empty {fname!r}")
+        scale = doc["scale"]
+        if scale not in SCALE_CLASSES:
+            raise ValueError(f"{source}: scale {scale!r} not in {SCALE_CLASSES}")
+        metrics = doc.get("metrics")
+        if not isinstance(metrics, Mapping) or not metrics:
+            raise ValueError(f"{source}: missing non-empty 'metrics'")
+        clean: Dict[str, float] = {}
+        for name, value in metrics.items():
+            if isinstance(value, bool) or not isinstance(value, numbers.Real):
+                raise ValueError(f"{source}: metric {name!r} is not numeric")
+            clean[str(name)] = float(value)
+        env = doc.get("env", {})
+        if not isinstance(env, Mapping):
+            raise ValueError(f"{source}: 'env' must be an object")
+        return cls(bench=str(doc["bench"]), sha=str(doc["sha"]),
+                   timestamp=str(doc["timestamp"]), scale=str(scale),
+                   metrics=clean, env=dict(env))
+
+    @classmethod
+    def from_bench_json(cls, payload: Mapping[str, object],
+                        source: str = "<payload>") -> "BenchRecord":
+        """Distill a validated bench JSON into its ledger record."""
+        problems = validate_bench_json(payload, source=source)
+        if problems:
+            raise ValueError("; ".join(problems))
+        provenance = payload["provenance"]
+        env = {name: provenance[name]
+               for name in ("python", "numpy", "platform", "cpus", "raven_scale")}
+        return cls(
+            bench=str(payload["bench"]),
+            sha=str(provenance["sha"]),
+            timestamp=str(provenance["timestamp"]),
+            scale=str(provenance["scale"]),
+            metrics=flatten_metrics(payload),
+            env=env,
+        )
