@@ -24,8 +24,15 @@ paper-versus-measured experiment index.
 from repro.adaptive import FeedbackStore, OperatorProfile
 from repro.core.optimizer import OptimizationReport, RavenOptimizer
 from repro.core.session import RavenSession, RunStats, ServingStats
-from repro.errors import RavenError
+from repro.errors import DeadlineExceededError, RavenError
 from repro.persist import Snapshot, SnapshotStore
+from repro.resilience import (
+    CircuitBreakerBoard,
+    Deadline,
+    FaultInjector,
+    QueryOutcome,
+    RetryPolicy,
+)
 from repro.serving import MicroBatcher, PlanCache
 from repro.storage.catalog import Catalog
 from repro.storage.partition import PartitionedTable
@@ -34,8 +41,10 @@ from repro.storage.table import Schema, Table
 __version__ = "0.1.0"
 
 __all__ = [
-    "Catalog", "FeedbackStore", "MicroBatcher", "OperatorProfile",
-    "OptimizationReport", "PartitionedTable", "PlanCache", "RavenError",
-    "RavenOptimizer", "RavenSession", "RunStats", "Schema", "ServingStats",
-    "Snapshot", "SnapshotStore", "Table", "__version__",
+    "Catalog", "CircuitBreakerBoard", "Deadline", "DeadlineExceededError",
+    "FaultInjector", "FeedbackStore", "MicroBatcher", "OperatorProfile",
+    "OptimizationReport", "PartitionedTable", "PlanCache", "QueryOutcome",
+    "RavenError", "RavenOptimizer", "RavenSession", "RetryPolicy",
+    "RunStats", "Schema", "ServingStats", "Snapshot", "SnapshotStore",
+    "Table", "__version__",
 ]

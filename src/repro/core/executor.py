@@ -63,6 +63,11 @@ class PredictRuntime:
         # predict batches and the micro-batcher can size coalesced
         # batches from observed per-row cost. Shared by for_call() clones.
         self.feedback = None
+        # Optional repro.resilience.FaultInjector (shared by clones) and
+        # per-call repro.resilience.Deadline: checked before every predict
+        # batch so a long chunked inference can't sail past its deadline.
+        self.faults = None
+        self.deadline = None
 
     def for_call(self) -> "PredictRuntime":
         """A per-call view of this runtime for concurrent execution.
@@ -76,7 +81,15 @@ class PredictRuntime:
         clone = copy.copy(self)
         clone.gpu_time_adjustment = 0.0
         clone.active_partition = None
+        clone.deadline = None
         return clone
+
+    def _pre_batch(self, detail: str = "") -> None:
+        """Deadline check + fault hook before one inference batch."""
+        if self.deadline is not None:
+            self.deadline.check("predict batch")
+        if self.faults is not None:
+            self.faults.fire("predict.run", detail=detail)
 
     # ------------------------------------------------------------------
     def __call__(self, node: Predict, table: Table) -> Table:
@@ -151,10 +164,12 @@ class PredictRuntime:
         session = self.session_for(graph)
         batch_size = batch_size or self.batch_size
         if num_rows <= batch_size:
+            self._pre_batch(detail=f"rows={num_rows}")
             return session.run(inputs, wanted)
         pieces: Dict[str, List[np.ndarray]] = {name: [] for name in wanted}
         n_chunks = -(-num_rows // batch_size)
         for start, stop in chunk_ranges(num_rows, n_chunks):
+            self._pre_batch(detail=f"rows={stop - start}")
             batch = {name: array[start:stop] for name, array in inputs.items()}
             result = session.run(batch, wanted)
             for name in wanted:
@@ -164,6 +179,7 @@ class PredictRuntime:
     def _run_tensor(self, runtime: TensorRuntime, graph: Graph,
                     inputs: Dict[str, np.ndarray],
                     wanted: List[str]) -> Dict[str, np.ndarray]:
+        self._pre_batch(detail=f"device={runtime.device.name}")
         started = time.perf_counter()
         result = runtime.run(graph, inputs)
         measured = time.perf_counter() - started
@@ -202,7 +218,7 @@ class QueryExecutor:
 
     def __init__(self, catalog: Catalog, runtime: Optional[PredictRuntime] = None,
                  dop: int = 1, compile_expressions: bool = True,
-                 profiler=None):
+                 profiler=None, deadline=None, faults=None):
         self.catalog = catalog
         self.runtime = runtime or PredictRuntime()
         self.dop = dop
@@ -212,13 +228,23 @@ class QueryExecutor:
         self.exec_stats = ExecStats()
         # Optional PlanProfiler, likewise shared across the fan-out.
         self.profiler = profiler
+        # Optional per-query Deadline / FaultInjector, shared across the
+        # fan-out and mirrored onto the predict runtime.
+        self.deadline = deadline
+        self.faults = faults
+        if deadline is not None:
+            self.runtime.deadline = deadline
+        if faults is not None:
+            self.runtime.faults = faults
 
     def _make_executor(self, scan_restrictions=None) -> Executor:
         return Executor(self.catalog, self.runtime,
                         scan_restrictions=scan_restrictions,
                         compile_expressions=self.compile_expressions,
                         exec_stats=self.exec_stats,
-                        profiler=self.profiler)
+                        profiler=self.profiler,
+                        deadline=self.deadline,
+                        faults=self.faults)
 
     def execute(self, plan: PlanNode) -> Table:
         from repro.relational.skipping import plan_partition_restrictions
@@ -235,6 +261,8 @@ class QueryExecutor:
                 compile_expressions=self.compile_expressions,
                 exec_stats=self.exec_stats,
                 profiler=self.profiler,
+                deadline=self.deadline,
+                faults=self.faults,
             ).execute(plan)
         return self._execute_per_partition(plan, partitioned, skip)
 

@@ -68,6 +68,7 @@ from repro.core.strategies import OptimizationStrategy
 from repro.errors import (
     BackpressureError,
     CatalogError,
+    DeadlineExceededError,
     PersistError,
     RavenError,
 )
@@ -83,6 +84,22 @@ from repro.persist.snapshot import (
 )
 from repro.relational.logical import PlanNode
 from repro.relational.optimizer import RelationalOptimizer
+from repro.resilience.breaker import (
+    CircuitBreakerBoard,
+    EVENT_CLOSED,
+    EVENT_REOPENED,
+    EVENT_TRIPPED,
+    ROUTE_DEGRADED,
+    ROUTE_TRIAL,
+)
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import FaultInjector
+from repro.resilience.retry import (
+    QueryOutcome,
+    RetryPolicy,
+    outcome_degraded_flags,
+    raven_typed,
+)
 from repro.relational.sqlgen import plan_to_sql
 from repro.serving.normalize import normalize_query, query_dependencies
 from repro.serving.plan_cache import CachedPlan, PlanCache, dependency_versions
@@ -119,6 +136,12 @@ class RunStats:
     programs_reused: int = 0
     # Per-operator runtime profile of this call (None for adaptive=False).
     operator_profiles: Optional[OperatorProfile] = None
+    # Degraded-mode markers: times the compiled expression engine fell
+    # back to the interpreted oracle during this call, and whether the
+    # circuit breaker served the safe static re-optimization instead of
+    # the adaptively-annotated plan.
+    expression_fallbacks: int = 0
+    static_plan: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -135,18 +158,42 @@ class RunStats:
 
 @dataclass
 class ServingStats:
-    """Counters for :meth:`RavenSession.serve` traffic (monotonic).
+    """Counters for session serving traffic (monotonic).
 
     ``rejected`` counts queries refused by the ``"raise"`` backpressure
-    policy when the bounded pending-query depth was full.
+    policy when the bounded pending-query depth was full. The resilience
+    counters (``retries`` onward) also cover direct ``sql()`` calls, not
+    just ``serve`` batches — a breaker trip is a breaker trip however
+    the query arrived.
     """
 
     submitted: int = 0
     completed: int = 0
     rejected: int = 0
+    # Queries whose final serve outcome was an error (retries exhausted
+    # or non-retryable failure).
+    failed: int = 0
+    # Individual retry attempts performed by a RetryPolicy.
+    retries: int = 0
+    # Queries that raised DeadlineExceededError.
+    deadline_exceeded: int = 0
+    # Executions served from a breaker's static re-optimization.
+    degraded_runs: int = 0
+    # Compiled-engine -> interpreted-oracle expression fallbacks.
+    expression_fallbacks: int = 0
+    # Circuit-breaker transitions (mirrors the board's BreakerStats).
+    breaker_trips: int = 0
+    breaker_reopens: int = 0
+    breaker_half_opens: int = 0
+    breaker_closes: int = 0
 
     def snapshot(self) -> "ServingStats":
-        return ServingStats(self.submitted, self.completed, self.rejected)
+        return ServingStats(self.submitted, self.completed, self.rejected,
+                            self.failed, self.retries,
+                            self.deadline_exceeded, self.degraded_runs,
+                            self.expression_fallbacks, self.breaker_trips,
+                            self.breaker_reopens, self.breaker_half_opens,
+                            self.breaker_closes)
 
 
 class RavenSession:
@@ -166,7 +213,9 @@ class RavenSession:
                  adaptive: bool = True,
                  feedback: Optional[FeedbackStore] = None,
                  warm_start: Union[str, Path, Snapshot, None] = None,
-                 profile_sample_rate: Optional[int] = None):
+                 profile_sample_rate: Optional[int] = None,
+                 breakers: Union[CircuitBreakerBoard, bool] = True,
+                 faults: Optional[FaultInjector] = None):
         self.catalog = Catalog()
         # Compiled expression engine (CSE + masked CASE routing) for
         # Filter/Project evaluation; False selects the interpreted
@@ -193,6 +242,19 @@ class RavenSession:
             self.runtime.feedback = self.feedback
         self.last_run: Optional[RunStats] = None
         self.serving_stats = ServingStats()
+        # Fault injection (repro.resilience): when set, every registered
+        # site in this session's stack consults the injector. None (the
+        # default) keeps the hooks to a single attribute check.
+        self.faults = faults
+        self.runtime.faults = faults
+        # Per-fingerprint circuit breakers: repeated failures of a cached
+        # adaptive plan trip to a safe static re-optimization (no learned
+        # annotations), half-opening after a recovery interval. Pass a
+        # configured CircuitBreakerBoard, or False to disable.
+        if isinstance(breakers, CircuitBreakerBoard):
+            self.breakers: Optional[CircuitBreakerBoard] = breakers
+        else:
+            self.breakers = CircuitBreakerBoard() if breakers else None
         # Normalized plan cache (on by default): repeated queries skip
         # parse/bind/optimize. Pass a PlanCache to control capacity, or
         # False to disable. Invalidation is wired to catalog mutations.
@@ -428,14 +490,17 @@ class RavenSession:
         """Parse + bind (no optimization)."""
         return Binder(self.catalog).bind(parse(query))
 
-    def _optimizer(self) -> RavenOptimizer:
+    def _optimizer(self, static: bool = False) -> RavenOptimizer:
+        """The session optimizer; ``static=True`` builds the degraded-mode
+        variant that trusts no learned annotation (no feedback store, so
+        conjuncts stay in query-text order and batch sizing is default)."""
         return RavenOptimizer(
             self.catalog,
             enable_cross=self.enable_cross,
             enable_data_induced=self.enable_data_induced,
             strategy=self.strategy,
             gpu_available=self.gpu_available,
-            feedback=self.feedback if self.adaptive else None,
+            feedback=self.feedback if self.adaptive and not static else None,
             predict_batch_rows=self.runtime.batch_size,
         )
 
@@ -443,15 +508,15 @@ class RavenSession:
         """Parse, bind and optimize; returns (plan, report)."""
         return self._optimize_stmt(parse(query))
 
-    def _optimize_stmt(self, stmt):
+    def _optimize_stmt(self, stmt, static: bool = False):
         bound = Binder(self.catalog).bind(stmt)
         if not self.enable_optimizations and self.strategy in (None, "none"):
             # Raven (no-opt): only the host engine's own passes run.
             plan = RelationalOptimizer(self.catalog).optimize(bound)
             return plan, OptimizationReport()
-        return self._optimizer().optimize(bound)
+        return self._optimizer(static=static).optimize(bound)
 
-    def _plan_for(self, query: str):
+    def _plan_for(self, query: str, normalized=None, deadline=None):
         """Resolve a query through the cache.
 
         Returns ``(plan, report, cache_hit, key, entry)`` — ``key``/
@@ -461,7 +526,9 @@ class RavenSession:
         Concurrent misses for the same normalized key are single-flighted:
         the first caller optimizes while the others wait on the in-flight
         entry (``plan_cache.stats.coalesced``) instead of redundantly
-        re-optimizing; if the owner fails, waiters optimize independently.
+        re-optimizing. The wait is bounded (the cache's ``join_timeout``,
+        clamped to the query's deadline): if the owner fails, wedges, or
+        times out, waiters optimize independently.
 
         On a miss the dependency versions are captured *before* optimizing:
         if a concurrent registration lands mid-optimization, the inserted
@@ -469,34 +536,55 @@ class RavenSession:
         next lookup discards it instead of serving a stale plan.
         """
         if self.plan_cache is None:
+            if deadline is not None:
+                deadline.check("plan optimization")
             plan, report = self.optimize(query)
             return plan, report, False, None, None
-        normalized = normalize_query(query)
+        if normalized is None:
+            normalized = normalize_query(query)
         entry, flight, owner = self.plan_cache.begin(normalized.key, self.catalog)
         if entry is not None:
             return entry.plan, entry.report, True, normalized.key, entry
         if not owner:
-            entry = self.plan_cache.join(flight, self.catalog)
+            if deadline is not None:
+                entry = self.plan_cache.join(
+                    flight, self.catalog,
+                    timeout=deadline.bound(self.plan_cache.join_timeout))
+            else:
+                entry = self.plan_cache.join(flight, self.catalog)
             if entry is not None:
                 return entry.plan, entry.report, True, normalized.key, entry
-            # Owner failed or its entry was invalidated: optimize here.
-            entry = self._optimize_to_entry(query, normalized)
+            # Owner failed, timed out, or its entry was invalidated:
+            # optimize here.
+            entry = self._optimize_to_entry(query, normalized,
+                                            deadline=deadline)
             self.plan_cache.put(normalized.key, entry)
             return entry.plan, entry.report, False, normalized.key, entry
         try:
-            entry = self._optimize_to_entry(query, normalized)
+            entry = self._optimize_to_entry(query, normalized,
+                                            deadline=deadline)
         except BaseException:
             self.plan_cache.complete(flight, None)
             raise
         self.plan_cache.complete(flight, entry)
         return entry.plan, entry.report, False, normalized.key, entry
 
-    def _optimize_to_entry(self, query: str, normalized) -> CachedPlan:
+    def _optimize_to_entry(self, query: str, normalized, deadline=None,
+                           static: bool = False) -> CachedPlan:
         """Parse + optimize a query into a cache-ready entry."""
+        if deadline is not None:
+            deadline.check("plan optimization")
+        if self.faults is not None:
+            self.faults.fire("plan_cache.optimize", detail=normalized.template)
         stmt = parse(query)
         deps = query_dependencies(stmt)
         versions = dependency_versions(self.catalog, deps.tables, deps.models)
-        plan, report = self._optimize_stmt(stmt)
+        # Pass the kwarg only when needed: callers (and tests) may wrap
+        # _optimize_stmt with a single-statement callable.
+        if static:
+            plan, report = self._optimize_stmt(stmt, static=True)
+        else:
+            plan, report = self._optimize_stmt(stmt)
         return CachedPlan(
             template=normalized.template,
             params=normalized.params,
@@ -521,11 +609,21 @@ class RavenSession:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def sql(self, query: str) -> Table:
-        """Optimize (or fetch from the plan cache) and execute a query."""
-        return self.sql_with_stats(query)[0]
+    def sql(self, query: str,
+            deadline: Union[Deadline, float, None] = None) -> Table:
+        """Optimize (or fetch from the plan cache) and execute a query.
 
-    def sql_with_stats(self, query: str) -> Tuple[Table, RunStats]:
+        ``deadline`` (seconds, or a :class:`~repro.resilience.Deadline`)
+        bounds the call cooperatively: checked at operator boundaries,
+        predict batches and plan-cache waits, raising
+        :class:`~repro.errors.DeadlineExceededError` at most one check
+        interval past expiry.
+        """
+        return self.sql_with_stats(query, deadline=deadline)[0]
+
+    def sql_with_stats(self, query: str,
+                       deadline: Union[Deadline, float, None] = None
+                       ) -> Tuple[Table, RunStats]:
         """Like :meth:`sql` but also returns this call's :class:`RunStats`.
 
         Safe for concurrent use: stats are computed per call, never read
@@ -537,14 +635,48 @@ class RavenSession:
         would now produce a different plan than the cached one — mark the
         cache entry stale so the next call re-optimizes it (observable as
         ``plan_cache.stats.reoptimizations``).
+
+        When the query's circuit breaker is open (its adaptive plan
+        failed repeatedly), the call is served from a safe static
+        re-optimization instead (``stats.static_plan``,
+        ``serving_stats.degraded_runs``).
         """
+        deadline = Deadline.coerce(deadline)
+        key = None
+        route = None
+        normalized = None
+        if self.breakers is not None and self.plan_cache is not None:
+            normalized = normalize_query(query)
+            key = normalized.key
+            route = self.breakers.acquire(key)
+            if route == ROUTE_TRIAL:
+                with self._stats_lock:
+                    self.serving_stats.breaker_half_opens += 1
+            elif route == ROUTE_DEGRADED:
+                return self._sql_degraded(query, normalized, deadline)
+        try:
+            table, stats = self._sql_adaptive(query, deadline, normalized)
+        except BaseException as error:
+            self._breaker_outcome(key, route, error)
+            if isinstance(error, DeadlineExceededError):
+                with self._stats_lock:
+                    self.serving_stats.deadline_exceeded += 1
+            raise
+        self._breaker_outcome(key, route, None)
+        return table, stats
+
+    def _sql_adaptive(self, query: str, deadline, normalized
+                      ) -> Tuple[Table, RunStats]:
+        """The ordinary (non-degraded) plan-cache + adaptive-loop path."""
         optimize_started = time.perf_counter()
-        plan, report, cache_hit, key, entry = self._plan_for(query)
+        plan, report, cache_hit, key, entry = self._plan_for(
+            query, normalized=normalized, deadline=deadline)
         optimize_seconds = time.perf_counter() - optimize_started
         table, stats = self._execute(plan, report, optimize_seconds,
                                      cache_hit=cache_hit,
                                      profile=self._should_profile(entry,
-                                                                  cache_hit))
+                                                                  cache_hit),
+                                     deadline=deadline)
         if (entry is not None and self.adaptive
                 and stats.operator_profiles is not None
                 and self.plan_cache is not None):
@@ -571,6 +703,64 @@ class RavenSession:
                 entry.fixed_point = True
                 self._maybe_checkpoint()
         return table, stats
+
+    def _sql_degraded(self, query: str, normalized, deadline
+                      ) -> Tuple[Table, RunStats]:
+        """Serve an open-breaker query from its static re-optimization.
+
+        The static plan trusts no learned annotation and is cached on the
+        breaker entry (dependency-version validated, like any cached
+        plan). Degraded runs never profile: feedback must keep describing
+        the adaptive path the half-open trial will retest.
+        """
+        with self._stats_lock:
+            self.serving_stats.degraded_runs += 1
+        optimize_started = time.perf_counter()
+        entry = self.breakers.static_entry(normalized.key, self.catalog)
+        if entry is None:
+            entry = self._optimize_to_entry(query, normalized,
+                                            deadline=deadline, static=True)
+            self.breakers.set_static_entry(normalized.key, entry)
+        optimize_seconds = time.perf_counter() - optimize_started
+        try:
+            table, stats = self._execute(entry.plan, entry.report,
+                                         optimize_seconds, cache_hit=False,
+                                         profile=False, deadline=deadline)
+        except DeadlineExceededError:
+            with self._stats_lock:
+                self.serving_stats.deadline_exceeded += 1
+            raise
+        stats.static_plan = True
+        return table, stats
+
+    def _breaker_outcome(self, key, route, error) -> None:
+        """Report one adaptive-path result to the breaker board.
+
+        Failures are library errors (RavenError, including deadline
+        expiry — a plan that repeatedly blows its deadline deserves
+        tripping) and internal defects; admission rejections
+        (BackpressureError) and BaseExceptions like KeyboardInterrupt
+        never count.
+        """
+        if key is None or self.breakers is None:
+            return
+        trial = route == ROUTE_TRIAL
+        if error is None:
+            event = self.breakers.record_success(key, trial=trial)
+        elif (isinstance(error, Exception)
+              and not isinstance(error, BackpressureError)):
+            event = self.breakers.record_failure(key, trial=trial)
+        else:
+            return
+        if event is None:
+            return
+        with self._stats_lock:
+            if event == EVENT_TRIPPED:
+                self.serving_stats.breaker_trips += 1
+            elif event == EVENT_REOPENED:
+                self.serving_stats.breaker_reopens += 1
+            elif event == EVENT_CLOSED:
+                self.serving_stats.breaker_closes += 1
 
     def _should_profile(self, entry, cache_hit: bool) -> bool:
         """Sampled re-profiling gate (True = profile this execution).
@@ -602,7 +792,9 @@ class RavenSession:
 
     def serve(self, queries: Iterable[str], workers: int = 4,
               max_pending: Optional[int] = None,
-              backpressure: str = "block") -> List[Table]:
+              backpressure: str = "block",
+              retry: Optional[RetryPolicy] = None,
+              deadline: Union[Deadline, float, None] = None) -> List[Table]:
         """Execute a batch of queries concurrently; results keep order.
 
         Dispatches over a thread pool (numpy kernels release the GIL, so
@@ -617,15 +809,25 @@ class RavenSession:
         queue backpressure), ``"raise"`` rejects the query with
         :class:`~repro.errors.BackpressureError` and counts it in
         ``serving_stats.rejected``.
+
+        ``retry`` re-runs transiently-failed queries per the policy
+        (counted in ``serving_stats.retries``); ``deadline`` is a
+        per-query budget in seconds (or a shared
+        :class:`~repro.resilience.Deadline`). The first *final* failure
+        still aborts the batch — use :meth:`serve_outcomes` for per-query
+        error isolation.
         """
         return [table for table, _ in
                 self.serve_with_stats(queries, workers=workers,
                                       max_pending=max_pending,
-                                      backpressure=backpressure)]
+                                      backpressure=backpressure,
+                                      retry=retry, deadline=deadline)]
 
     def serve_with_stats(self, queries: Iterable[str], workers: int = 4,
                          max_pending: Optional[int] = None,
-                         backpressure: str = "block"
+                         backpressure: str = "block",
+                         retry: Optional[RetryPolicy] = None,
+                         deadline: Union[Deadline, float, None] = None
                          ) -> List[Tuple[Table, RunStats]]:
         """:meth:`serve`, returning ``(table, stats)`` per query in order."""
         if workers < 1:
@@ -652,9 +854,81 @@ class RavenSession:
             with self._stats_lock:
                 self.serving_stats.submitted += 1
 
-        def run_one(query: str) -> Tuple[Table, RunStats]:
+        def run_one(index: int, query: str) -> Tuple[Table, RunStats]:
             try:
-                return self.sql_with_stats(query)
+                outcome = self._attempt_query(query, retry, deadline,
+                                              salt=index)
+            finally:
+                with self._stats_lock:
+                    self.serving_stats.completed += 1
+                if gate is not None:
+                    gate.release()
+            if outcome.error is not None:
+                raise outcome.error
+            return outcome.table, outcome.stats
+
+        if workers == 1 or len(queries) <= 1:
+            results = []
+            for index, query in enumerate(queries):
+                admit(query)
+                results.append(run_one(index, query))
+            return results
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = []
+            for index, query in enumerate(queries):
+                admit(query)  # backpressure applies *before* submission
+                futures.append(pool.submit(run_one, index, query))
+            return [future.result() for future in futures]
+
+    def serve_outcomes(self, queries: Iterable[str], workers: int = 4,
+                       max_pending: Optional[int] = None,
+                       backpressure: str = "block",
+                       retry: Optional[RetryPolicy] = None,
+                       deadline: Union[Deadline, float, None] = None
+                       ) -> List[QueryOutcome]:
+        """:meth:`serve` with per-query error isolation.
+
+        Returns one :class:`~repro.resilience.QueryOutcome` per query, in
+        order: value or typed error, attempt count, degraded-mode flags.
+        A failing query never aborts the batch — its outcome carries the
+        final error after retries exhausted (``serving_stats.failed``),
+        and under ``backpressure="raise"`` a rejected query's outcome
+        carries the :class:`~repro.errors.BackpressureError` with
+        ``attempts=0``.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if backpressure not in ("block", "raise"):
+            raise ValueError("backpressure must be 'block' or 'raise'")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        queries = list(queries)
+        gate = (threading.BoundedSemaphore(max_pending)
+                if max_pending is not None else None)
+
+        def admit(query: str) -> bool:
+            if gate is not None:
+                if backpressure == "block":
+                    gate.acquire()
+                elif not gate.acquire(blocking=False):
+                    with self._stats_lock:
+                        self.serving_stats.rejected += 1
+                    return False
+            with self._stats_lock:
+                self.serving_stats.submitted += 1
+            return True
+
+        def rejected(query: str) -> QueryOutcome:
+            return QueryOutcome(
+                query=query, attempts=0,
+                error=BackpressureError(
+                    f"pending-query depth {max_pending} exceeded "
+                    f"(policy='raise'): {query[:80]!r}"))
+
+        def run_one(index: int, query: str) -> QueryOutcome:
+            try:
+                return self._attempt_query(query, retry, deadline,
+                                           salt=index)
             finally:
                 with self._stats_lock:
                     self.serving_stats.completed += 1
@@ -662,17 +936,72 @@ class RavenSession:
                     gate.release()
 
         if workers == 1 or len(queries) <= 1:
-            results = []
-            for query in queries:
-                admit(query)
-                results.append(run_one(query))
-            return results
+            return [run_one(index, query) if admit(query)
+                    else rejected(query)
+                    for index, query in enumerate(queries)]
+        outcomes: List[Optional[QueryOutcome]] = [None] * len(queries)
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = []
-            for query in queries:
-                admit(query)  # backpressure applies *before* submission
-                futures.append(pool.submit(run_one, query))
-            return [future.result() for future in futures]
+            futures = {}
+            for index, query in enumerate(queries):
+                if admit(query):  # backpressure before submission
+                    futures[index] = pool.submit(run_one, index, query)
+                else:
+                    outcomes[index] = rejected(query)
+            for index, future in futures.items():
+                outcomes[index] = future.result()
+        return outcomes
+
+    def _attempt_query(self, query: str, retry: Optional[RetryPolicy],
+                       deadline: Union[Deadline, float, None],
+                       salt: int = 0) -> QueryOutcome:
+        """Run one query under the retry policy; always returns an outcome.
+
+        A numeric ``deadline`` becomes a fresh per-query Deadline spanning
+        all attempts; a Deadline instance is used as-is (shared budget).
+        Backoff never retries past the policy's sleep budget or the
+        query's deadline, and jitter is deterministic per (policy seed,
+        salt) so a serve batch's retry schedule is reproducible.
+        """
+        if deadline is not None and not isinstance(deadline, Deadline):
+            deadline = Deadline.after(float(deadline))
+        rng = retry.rng(salt) if retry is not None else None
+        attempts = 0
+        slept = 0.0
+        while True:
+            attempts += 1
+            try:
+                # Only pass the kwarg when set: callers (and tests) may
+                # wrap sql_with_stats with a single-argument callable.
+                if deadline is not None:
+                    table, stats = self.sql_with_stats(query,
+                                                       deadline=deadline)
+                else:
+                    table, stats = self.sql_with_stats(query)
+            except Exception as error:
+                can_retry = (retry is not None
+                             and attempts < retry.max_attempts
+                             and retry.is_retryable(error))
+                if can_retry:
+                    delay = retry.delay_for(attempts, rng)
+                    if (retry.budget_seconds is not None
+                            and slept + delay > retry.budget_seconds):
+                        can_retry = False
+                    elif (deadline is not None
+                          and deadline.remaining() <= delay):
+                        can_retry = False
+                if not can_retry:
+                    with self._stats_lock:
+                        self.serving_stats.failed += 1
+                    return QueryOutcome(query=query, attempts=attempts,
+                                        error=raven_typed(error))
+                with self._stats_lock:
+                    self.serving_stats.retries += 1
+                time.sleep(delay)
+                slept += delay
+                continue
+            return QueryOutcome(
+                query=query, table=table, stats=stats, attempts=attempts,
+                degraded=outcome_degraded_flags(stats, attempts))
 
     def prepare(self, query: str) -> "PreparedQuery":
         """Optimize once, execute many times (offline optimization, §7.4).
@@ -692,7 +1021,9 @@ class RavenSession:
 
     def _execute(self, plan: PlanNode, report: Optional[OptimizationReport],
                  optimize_seconds: float, cache_hit: bool = False,
-                 profile: bool = True) -> Tuple[Table, RunStats]:
+                 profile: bool = True,
+                 deadline: Optional[Deadline] = None
+                 ) -> Tuple[Table, RunStats]:
         # Per-call runtime view: shares the inference-session and compiled-
         # program caches but keeps partition dispatch and GPU-time
         # accounting local, so concurrent calls never interleave state.
@@ -700,12 +1031,16 @@ class RavenSession:
         profiler = PlanProfiler() if (self.adaptive and profile) else None
         executor = QueryExecutor(self.catalog, runtime, dop=self.dop,
                                  compile_expressions=self.compile_expressions,
-                                 profiler=profiler)
+                                 profiler=profiler, deadline=deadline,
+                                 faults=self.faults)
         started = time.perf_counter()
         result = executor.execute(plan)
         wall = time.perf_counter() - started
+        fallbacks = executor.exec_stats.expression_fallbacks
         with self._stats_lock:
             self.runtime.gpu_time_adjustment += runtime.gpu_time_adjustment
+            if fallbacks:
+                self.serving_stats.expression_fallbacks += fallbacks
         profiles: Optional[OperatorProfile] = None
         if profiler is not None:
             profiles = profiler.profile_tree(plan)
@@ -720,6 +1055,7 @@ class RavenSession:
             programs_compiled=executor.exec_stats.programs_compiled,
             programs_reused=executor.exec_stats.programs_reused,
             operator_profiles=profiles,
+            expression_fallbacks=fallbacks,
         )
         self.last_run = stats
         return result, stats

@@ -44,6 +44,30 @@ class BackpressureError(RavenError):
     full and the backpressure policy is ``"raise"``."""
 
 
+class DeadlineExceededError(RavenError):
+    """A query ran past its cooperative per-query deadline.
+
+    Raised at the next deadline check — pipeline breakers, predict
+    batches, plan-cache waits — so a query never overruns its budget by
+    more than one check interval. ``where`` names the checkpoint that
+    tripped.
+    """
+
+    def __init__(self, message: str = "deadline exceeded", where: str = "",
+                 overrun_seconds: float = 0.0):
+        self.where = where
+        self.overrun_seconds = overrun_seconds
+        if where:
+            message = f"{message} (at {where})"
+        super().__init__(message)
+
+
+class InjectedFaultError(RavenError):
+    """A fault raised on purpose by the deterministic fault-injection
+    harness (:mod:`repro.resilience.faults`). Never raised in production
+    paths without an installed injector."""
+
+
 class ExecutionError(RavenError):
     """A plan failed while executing."""
 

@@ -81,6 +81,14 @@ DEFAULT_GATES: Sequence[Gate] = (
     Gate("adaptive", "speedup", tolerance=0.20),
     Gate("joins", "speedup"),
     Gate("persist", "speedup"),
+    # Resilience SLOs. Availability is a count ratio, not a timing —
+    # zero tolerance: any query the retrying fleet fails to answer under
+    # the injected 1% predict-fault rate is a real regression. The p99
+    # blowup (faulty p99 / clean p99, machine-normalized by
+    # construction) is a tail-latency ratio of ~ms calls, so it gets a
+    # wide band like the other small-denominator ratios.
+    Gate("resilience", "availability", tolerance=0.0),
+    Gate("resilience", "p99_blowup", LOWER_IS_BETTER, tolerance=0.40),
 )
 
 

@@ -73,14 +73,27 @@ class Ledger:
         self._keys.add(record.key)
         return True
 
-    def append_to_file(self, path: Path, record: BenchRecord) -> bool:
-        """Idempotently append one record to this ledger *and* its file."""
+    def append_to_file(self, path: Path, record: BenchRecord,
+                       faults=None) -> bool:
+        """Idempotently append one record to this ledger *and* its file.
+
+        The file append is crash-safe (rewrite + fsync + atomic rename
+        via :func:`repro.persist.atomic.atomic_append_line`): a process
+        dying mid-append can never leave the torn trailing line the
+        strict loader refuses. On a failed write the in-memory append is
+        rolled back so a retry is not silently skipped as a duplicate.
+        """
         if not self.append(record):
             return False
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("a") as handle:
-            handle.write(record.to_json_line() + "\n")
+        from repro.persist.atomic import atomic_append_line
+
+        try:
+            atomic_append_line(path, record.to_json_line(), faults=faults,
+                               site="ledger.append")
+        except BaseException:
+            self.records.remove(record)
+            self._keys.discard(record.key)
+            raise
         return True
 
     def for_bench(self, bench: str, scale: str = SCALE_FULL) -> List[BenchRecord]:

@@ -152,16 +152,14 @@ class Snapshot:
             ancestors=list(payload.get("ancestors", [])),
         )
 
-    def save(self, path: Union[str, Path]) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Write-then-rename so a reader (or a crash) never sees a torn
-        # snapshot; the temp file lives in the same directory so the
-        # rename stays atomic on one filesystem.
-        scratch = path.with_name(path.name + ".tmp")
-        scratch.write_text(json.dumps(self.to_dict()))
-        scratch.replace(path)
-        return path
+    def save(self, path: Union[str, Path], faults=None) -> Path:
+        # Crash-safe write: scratch file in the same directory, fsync,
+        # atomic rename — a reader (or a crash at any point) never sees
+        # a torn snapshot, and the rename is durable once we return.
+        from repro.persist.atomic import atomic_write_text
+
+        return atomic_write_text(path, json.dumps(self.to_dict()),
+                                 faults=faults, site="snapshot.write")
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Snapshot":

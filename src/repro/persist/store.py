@@ -51,7 +51,7 @@ class SnapshotStore:
     """Origin-and-sequence-numbered snapshot files under one directory."""
 
     def __init__(self, directory: Union[str, Path], keep: int = DEFAULT_KEEP,
-                 prefix: str = "snapshot"):
+                 prefix: str = "snapshot", faults=None):
         if keep < 1:
             raise ValueError("snapshot store must keep >= 1 files")
         if not re.fullmatch(r"[^-/]+", prefix):
@@ -59,6 +59,9 @@ class SnapshotStore:
         self.directory = Path(directory)
         self.keep = keep
         self.prefix = prefix
+        # Optional repro.resilience.FaultInjector for the snapshot.write
+        # site (torn-write crash simulation in the chaos suite).
+        self.faults = faults
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -117,7 +120,7 @@ class SnapshotStore:
                            default=0) + 1
             path = self.directory / \
                 f"{self.prefix}-{origin}-{sequence:06d}.json"
-            snapshot.save(path)
+            snapshot.save(path, faults=self.faults)
             mine = [(seq, stale) for own, seq, stale in self._scan()
                     if own == origin]
             for _, stale in sorted(mine)[:-self.keep]:

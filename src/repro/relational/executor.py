@@ -17,6 +17,16 @@ masked CASE routing + constant folding), cached per plan node so plans
 held by the serving cache skip compilation on warm executions; the
 interpreted path remains available (``compile_expressions=False``) as the
 differential-testing oracle.
+
+Resilience (see :mod:`repro.resilience`): a ``deadline`` is checked
+cooperatively before every operator — which covers every pipeline
+breaker — so a bounded query overruns by at most one operator; a
+``faults`` injector exposes the ``executor.operator`` and
+``executor.compile`` sites; and when the compiled expression engine
+fails (a :class:`~repro.errors.CompileError` or an internal defect) the
+operator **falls back to the interpreted oracle** — bit-for-bit the same
+result, counted in ``exec_stats.expression_fallbacks`` — instead of
+failing the query.
 """
 
 from __future__ import annotations
@@ -27,7 +37,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.errors import ExecutionError, PlanError
+from repro.errors import CompileError, ExecutionError, PlanError, RavenError
 from repro.relational.compile import (
     CompiledProgram,
     compile_outputs,
@@ -59,14 +69,19 @@ class ExecStats:
 
     Shared (thread-safely) by every Executor a QueryExecutor fans out to,
     so chunk-parallel and per-partition runs aggregate into one view.
+    ``expression_fallbacks`` counts operators that degraded from the
+    compiled engine to the interpreted oracle after a compile/engine
+    failure.
     """
 
-    __slots__ = ("_lock", "programs_compiled", "programs_reused")
+    __slots__ = ("_lock", "programs_compiled", "programs_reused",
+                 "expression_fallbacks")
 
     def __init__(self):
         self._lock = threading.Lock()
         self.programs_compiled = 0
         self.programs_reused = 0
+        self.expression_fallbacks = 0
 
     def record(self, compiled: bool) -> None:
         with self._lock:
@@ -75,9 +90,14 @@ class ExecStats:
             else:
                 self.programs_reused += 1
 
+    def record_fallback(self) -> None:
+        with self._lock:
+            self.expression_fallbacks += 1
+
     def __repr__(self):
         return (f"ExecStats(compiled={self.programs_compiled}, "
-                f"reused={self.programs_reused})")
+                f"reused={self.programs_reused}, "
+                f"fallbacks={self.expression_fallbacks})")
 
 
 class Executor:
@@ -100,13 +120,18 @@ class Executor:
                  scan_restrictions: Optional[Dict[str, object]] = None,
                  compile_expressions: bool = True,
                  exec_stats: Optional[ExecStats] = None,
-                 profiler=None):
+                 profiler=None, deadline=None, faults=None):
         self.catalog = catalog
         self.predict_executor = predict_executor
         self.scan_restrictions = scan_restrictions or {}
         self.compile_expressions = compile_expressions
         self.exec_stats = exec_stats if exec_stats is not None else ExecStats()
         self.profiler = profiler
+        # Cooperative repro.resilience.Deadline (checked before every
+        # operator) and FaultInjector (sites: executor.operator,
+        # executor.compile). Both default off with zero hot-path cost.
+        self.deadline = deadline
+        self.faults = faults
 
     # ------------------------------------------------------------------
     def execute(self, plan: PlanNode) -> Table:
@@ -117,10 +142,21 @@ class Executor:
         method = getattr(self, f"_exec_{type(plan).__name__.lower()}", None)
         if method is None:
             raise ExecutionError(f"no executor for operator {type(plan).__name__}")
+        # Deadline checks bracket the operator: the entry check fires
+        # during plan descent, the exit check fires right after this
+        # operator's own work — so a query overruns its deadline by at
+        # most one operator (one pipeline-breaker interval).
+        if self.deadline is not None:
+            self.deadline.check(f"operator {type(plan).__name__} start")
+        if self.faults is not None:
+            self.faults.fire("executor.operator",
+                             detail=type(plan).__name__)
         if self.profiler is None:
             result = method(plan)
             if isinstance(result, Table):
                 result = TableView(result)
+            if self.deadline is not None:
+                self.deadline.check(f"operator {type(plan).__name__}")
             return result
         started = time.perf_counter()
         result = method(plan)
@@ -128,6 +164,8 @@ class Executor:
             result = TableView(result)
         self.profiler.record_operator(plan, result.num_rows,
                                       time.perf_counter() - started)
+        if self.deadline is not None:
+            self.deadline.check(f"operator {type(plan).__name__}")
         return result
 
     # ------------------------------------------------------------------
@@ -141,6 +179,9 @@ class Executor:
     # ------------------------------------------------------------------
     def _program_for(self, node: Union[Filter, Project],
                      schema) -> CompiledProgram:
+        if self.faults is not None:
+            self.faults.fire("executor.compile",
+                             detail=type(node).__name__)
         fingerprint = tuple(schema)
         cached = node.__dict__.get("_compiled_program")
         if cached is not None and cached[0] == fingerprint:
@@ -153,6 +194,22 @@ class Executor:
         node._compiled_program = (fingerprint, program)
         self.exec_stats.record(compiled=True)
         return program
+
+    def _fallback_allowed(self, error: BaseException) -> bool:
+        """Should a compiled-engine failure degrade to the interpreted oracle?
+
+        :class:`CompileError` (the engine could not lower the expression;
+        injected compile faults use it too) and internal defects (non-
+        Raven exceptions escaping the compiled path) fall back — the
+        interpreted oracle computes the identical result. Other
+        :class:`RavenError`\\ s are *data* errors the oracle would raise
+        identically (plus deadline expiry), so they propagate.
+        """
+        if isinstance(error, CompileError):
+            return True
+        if isinstance(error, RavenError):
+            return False
+        return isinstance(error, Exception)
 
     # ------------------------------------------------------------------
     # Leaf
@@ -192,7 +249,15 @@ class Executor:
             if len(parts) > 1:
                 return self._exec_filter_cascade(node, view, parts)
         if self.compile_expressions:
-            keep = self._program_for(node, view.schema).run_single(view)
+            try:
+                keep = self._program_for(node, view.schema).run_single(view)
+            except BaseException as error:
+                if not self._fallback_allowed(error):
+                    raise
+                # Degraded mode: the compiled engine failed, the
+                # interpreted oracle computes the identical mask.
+                self.exec_stats.record_fallback()
+                keep = node.predicate.evaluate(view)
         else:
             keep = node.predicate.evaluate(view)
         if keep.dtype != np.bool_:
@@ -210,13 +275,25 @@ class Executor:
         same. The per-conjunct selectivities and costs feed the
         FeedbackStore's conjunct-ordering decisions.
         """
-        programs = (self._conjunct_programs(node, parts, view.schema)
-                    if self.compile_expressions else None)
+        programs = None
+        if self.compile_expressions:
+            try:
+                programs = self._conjunct_programs(node, parts, view.schema)
+            except BaseException as error:
+                if not self._fallback_allowed(error):
+                    raise
+                self.exec_stats.record_fallback()
         for index, part in enumerate(parts):
             rows_in = view.num_rows
             started = time.perf_counter()
             if programs is not None:
-                keep = programs[index].run_single(view)
+                try:
+                    keep = programs[index].run_single(view)
+                except BaseException as error:
+                    if not self._fallback_allowed(error):
+                        raise
+                    self.exec_stats.record_fallback()
+                    keep = part.evaluate(view)
             else:
                 keep = part.evaluate(view)
             if keep.dtype != np.bool_:
@@ -232,6 +309,8 @@ class Executor:
                            schema) -> List[CompiledProgram]:
         """Per-conjunct compiled programs, cached on the node like
         :meth:`_program_for` (counted once per filter in exec stats)."""
+        if self.faults is not None:
+            self.faults.fire("executor.compile", detail="FilterCascade")
         fingerprint = tuple(schema)
         cached = node.__dict__.get("_conjunct_programs")
         if cached is not None and cached[0] == fingerprint:
@@ -246,15 +325,21 @@ class Executor:
         view = self._run(node.child)
         columns: List[Tuple[str, Column]] = []
         if self.compile_expressions:
-            program = self._program_for(node, view.schema)
-            arrays = program.run(view)
-            for name, dtype in program.output_dtypes():
-                columns.append((name, Column(arrays[name], dtype)))
-        else:
-            schema = view.schema
-            for name, expr in node.outputs:
-                dtype = expr.output_dtype(schema)
-                columns.append((name, Column(expr.evaluate(view), dtype)))
+            try:
+                program = self._program_for(node, view.schema)
+                arrays = program.run(view)
+                for name, dtype in program.output_dtypes():
+                    columns.append((name, Column(arrays[name], dtype)))
+                return Table(columns)
+            except BaseException as error:
+                if not self._fallback_allowed(error):
+                    raise
+                self.exec_stats.record_fallback()
+                columns = []
+        schema = view.schema
+        for name, expr in node.outputs:
+            dtype = expr.output_dtype(schema)
+            columns.append((name, Column(expr.evaluate(view), dtype)))
         return Table(columns)
 
     def _exec_limit(self, node: Limit) -> TableView:

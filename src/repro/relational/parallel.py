@@ -84,7 +84,7 @@ class ParallelExecutor:
                  predict_executor: Optional[PredictExecutor] = None,
                  compile_expressions: bool = True,
                  exec_stats: Optional[ExecStats] = None,
-                 profiler=None):
+                 profiler=None, deadline=None, faults=None):
         if dop < 1:
             raise ValueError("dop must be >= 1")
         self.catalog = catalog
@@ -95,13 +95,19 @@ class ParallelExecutor:
         # Shared (thread-safe) profiler: chunk executions aggregate into
         # one per-node accumulator, so the profile covers the whole query.
         self.profiler = profiler
+        # Per-query Deadline (thread-safe: reads a fixed expiry against a
+        # monotonic clock) and FaultInjector, shared across chunks.
+        self.deadline = deadline
+        self.faults = faults
 
     def _make_executor(self, scan_restrictions=None) -> Executor:
         return Executor(self.catalog, self.predict_executor,
                         scan_restrictions=scan_restrictions,
                         compile_expressions=self.compile_expressions,
                         exec_stats=self.exec_stats,
-                        profiler=self.profiler)
+                        profiler=self.profiler,
+                        deadline=self.deadline,
+                        faults=self.faults)
 
     def execute(self, plan: PlanNode) -> Table:
         if self.dop == 1:

@@ -1,0 +1,78 @@
+"""Cooperative per-query deadlines.
+
+A :class:`Deadline` is an absolute expiry point threaded through the
+serving stack: ``RavenSession.sql_with_stats`` passes it into the
+optimizer path (bounding the single-flight plan-cache wait) and the
+relational executor (checked at every operator boundary — which includes
+every pipeline breaker) and the predict runtime (checked per predict
+batch). Checks are *cooperative*: a query overruns its deadline by at
+most one check interval — one operator, one predict batch, one bounded
+wait — and then raises :class:`~repro.errors.DeadlineExceededError`;
+nothing is killed mid-kernel, so partially-executed state can never leak
+into shared caches.
+
+The clock is injectable so tests can drive expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Union
+
+from repro.errors import DeadlineExceededError
+
+Clock = Callable[[], float]
+
+
+class Deadline:
+    """An absolute expiry point on a monotonic clock."""
+
+    __slots__ = ("expires_at", "clock")
+
+    def __init__(self, seconds: float, clock: Clock = time.monotonic):
+        if seconds < 0:
+            raise ValueError("deadline seconds must be >= 0")
+        self.clock = clock
+        self.expires_at = clock() + seconds
+
+    @classmethod
+    def after(cls, seconds: float, clock: Clock = time.monotonic) -> "Deadline":
+        """A deadline ``seconds`` from now (alias of the constructor)."""
+        return cls(seconds, clock=clock)
+
+    @classmethod
+    def coerce(cls, value: Union["Deadline", float, int, None]
+               ) -> Optional["Deadline"]:
+        """Accept a Deadline, a per-query budget in seconds, or None."""
+        if value is None or isinstance(value, Deadline):
+            return value
+        return cls(float(value))
+
+    # ------------------------------------------------------------------
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self.expires_at - self.clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` if the deadline passed."""
+        overrun = -self.remaining()
+        if overrun >= 0.0:
+            raise DeadlineExceededError(
+                where=where, overrun_seconds=overrun)
+
+    def bound(self, seconds: Optional[float]) -> float:
+        """Clamp a wait budget to the time left (never negative).
+
+        ``None`` means "no tighter bound": the full remaining time.
+        """
+        left = max(self.remaining(), 0.0)
+        if seconds is None:
+            return left
+        return min(seconds, left)
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining():.4f}s)"

@@ -108,6 +108,7 @@ class MicroBatcher:
         self._condition = threading.Condition()
         self._worker: Optional[threading.Thread] = None
         self._stopping = False
+        self._closed = False
         session.catalog.subscribe(self._on_catalog_change)
 
     # ------------------------------------------------------------------
@@ -195,6 +196,10 @@ class MicroBatcher:
         future: Future = Future()
         request = _Request(arrays, rows or 0, future)
         with self._condition:
+            if self._closed:
+                raise ExecutionError(
+                    "MicroBatcher is closed; no new predict requests accepted"
+                )
             self._queues.setdefault(model, []).append(request)
             if self._oldest is None:
                 self._oldest = time.monotonic()
@@ -222,6 +227,12 @@ class MicroBatcher:
         graph = self._graph_for(model)
         runtime = self.session.runtime
         try:
+            # Fault hook inside the try: an injected batch failure takes
+            # the same path as a real one — every coalesced request's
+            # future gets the error, nothing hangs.
+            faults = getattr(self.session, "faults", None)
+            if faults is not None:
+                faults.fire("batcher.execute", detail=model)
             total = sum(request.rows for request in requests)
             stacked = {
                 info.name: np.concatenate(
@@ -276,17 +287,45 @@ class MicroBatcher:
             self._worker.start()
         return self
 
-    def close(self) -> None:
-        """Stop the worker and flush anything still queued."""
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the worker, drain the queue, reject further requests.
+
+        Clean shutdown flushes anything still queued. If the worker does
+        not stop within ``timeout`` seconds (wedged mid-batch — e.g. a
+        hung model or an injected delay fault), pending requests are
+        *failed* with a clear :class:`~repro.errors.ExecutionError`
+        instead of being flushed through a stuck pipeline, so no caller
+        blocks forever on a future that will never resolve. Either way
+        the queue is provably empty on return.
+        """
         self.session.catalog.unsubscribe(self._on_catalog_change)
         with self._condition:
+            self._closed = True
             self._stopping = True
             worker = self._worker
             self._worker = None
             self._condition.notify_all()
+        wedged = False
         if worker is not None:
-            worker.join(timeout=5.0)
-        self.flush()
+            worker.join(timeout=timeout)
+            wedged = worker.is_alive()
+        if not wedged:
+            self.flush()
+        else:
+            with self._condition:
+                drained = [request for requests in self._queues.values()
+                           for request in requests]
+                self._queues = {}
+                self._oldest = None
+            error = ExecutionError(
+                f"MicroBatcher.close(): worker thread still alive after "
+                f"{timeout}s; {len(drained)} pending request(s) failed"
+            )
+            for request in drained:
+                if not request.future.cancelled():
+                    request.future.set_exception(error)
+        assert self.pending_rows() == 0, \
+            "MicroBatcher.close() left requests queued"
 
     def __enter__(self) -> "MicroBatcher":
         return self.start()

@@ -40,6 +40,10 @@ from typing import Dict, FrozenSet, Optional, Tuple
 from repro.storage.catalog import Catalog
 
 DEFAULT_CAPACITY = 128
+# Default bound on waiting for another caller's in-flight optimization:
+# a wedged owner (deadlocked optimizer, injected delay fault) must not
+# strand waiters forever — on expiry they optimize independently.
+DEFAULT_JOIN_TIMEOUT = 30.0
 
 # (kind, name) -> catalog entry version at optimization time.
 DependencyVersions = Dict[Tuple[str, str], int]
@@ -66,6 +70,9 @@ class PlanCacheStats:
     # Entries installed from a persisted snapshot (warm start) after
     # validating against the live catalog.
     restored: int = 0
+    # Single-flight waits that expired before the owner published; the
+    # waiter fell back to optimizing independently.
+    join_timeouts: int = 0
 
     @property
     def lookups(self) -> int:
@@ -78,7 +85,8 @@ class PlanCacheStats:
     def snapshot(self) -> "PlanCacheStats":
         return PlanCacheStats(self.hits, self.misses, self.evictions,
                               self.invalidations, self.coalesced,
-                              self.reoptimizations, self.restored)
+                              self.reoptimizations, self.restored,
+                              self.join_timeouts)
 
 
 @dataclass
@@ -122,6 +130,11 @@ def dependency_versions(catalog: Catalog, tables, models) -> DependencyVersions:
     return versions
 
 
+#: Sentinel distinguishing "use the cache's join_timeout" from an
+#: explicit ``timeout=None`` (wait unbounded).
+_USE_DEFAULT = object()
+
+
 class Flight:
     """An in-flight optimization of one cache key (single-flight token)."""
 
@@ -135,10 +148,15 @@ class Flight:
 class PlanCache:
     """Thread-safe LRU cache of optimized plans for one session."""
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 join_timeout: Optional[float] = DEFAULT_JOIN_TIMEOUT):
         if capacity < 1:
             raise ValueError("plan cache capacity must be >= 1")
+        if join_timeout is not None and join_timeout <= 0:
+            raise ValueError("join_timeout must be positive (or None)")
         self.capacity = capacity
+        # Default wait bound applied when join() gets no explicit timeout.
+        self.join_timeout = join_timeout
         self._entries: "OrderedDict[Tuple, CachedPlan]" = OrderedDict()
         self._lock = threading.RLock()
         self._stats = PlanCacheStats()
@@ -239,7 +257,7 @@ class PlanCache:
         flight.event.set()
 
     def join(self, flight: Flight, catalog: Catalog,
-             timeout: Optional[float] = None) -> Optional[CachedPlan]:
+             timeout: Optional[float] = _USE_DEFAULT) -> Optional[CachedPlan]:
         """Wait for an in-flight optimization and fetch its entry.
 
         A waiter that receives the owner's entry counts as ``coalesced``
@@ -247,10 +265,16 @@ class PlanCache:
         hit, so cold concurrent bursts don't inflate ``hit_rate``.
         Returns None when the owner failed, timed out, or its entry was
         already invalidated; that waiter re-optimizes independently and
-        counts as an ordinary miss.
+        counts as an ordinary miss. The wait is bounded by the cache's
+        ``join_timeout`` unless an explicit ``timeout`` (or None, meaning
+        unbounded) is passed; expiries count in ``stats.join_timeouts``.
         """
+        if timeout is _USE_DEFAULT:
+            timeout = self.join_timeout
         finished = flight.event.wait(timeout)
         with self._lock:
+            if not finished:
+                self._stats.join_timeouts += 1
             entry = None
             if finished:
                 entry = self._entries.get(flight.key)
