@@ -37,14 +37,16 @@ from repro.serving import MicroBatcher, PlanCache
 from repro.storage.catalog import Catalog
 from repro.storage.partition import PartitionedTable
 from repro.storage.table import Schema, Table
+from repro.telemetry import MetricsRegistry, SlowQueryLog, Telemetry, Tracer
 
 __version__ = "0.1.0"
 
 __all__ = [
     "Catalog", "CircuitBreakerBoard", "Deadline", "DeadlineExceededError",
-    "FaultInjector", "FeedbackStore", "MicroBatcher", "OperatorProfile",
-    "OptimizationReport", "PartitionedTable", "PlanCache", "QueryOutcome",
-    "RavenError", "RavenOptimizer", "RavenSession", "RetryPolicy",
-    "RunStats", "Schema", "ServingStats", "Snapshot", "SnapshotStore",
-    "Table", "__version__",
+    "FaultInjector", "FeedbackStore", "MetricsRegistry", "MicroBatcher",
+    "OperatorProfile", "OptimizationReport", "PartitionedTable", "PlanCache",
+    "QueryOutcome", "RavenError", "RavenOptimizer", "RavenSession",
+    "RetryPolicy", "RunStats", "Schema", "ServingStats", "SlowQueryLog",
+    "Snapshot", "SnapshotStore", "Table", "Telemetry", "Tracer",
+    "__version__",
 ]

@@ -68,6 +68,9 @@ class PredictRuntime:
         # batch so a long chunked inference can't sail past its deadline.
         self.faults = None
         self.deadline = None
+        # Optional per-call telemetry Span: when set, every inference
+        # batch is recorded as a ``predict.batch`` child span.
+        self.span = None
 
     def for_call(self) -> "PredictRuntime":
         """A per-call view of this runtime for concurrent execution.
@@ -82,6 +85,7 @@ class PredictRuntime:
         clone.gpu_time_adjustment = 0.0
         clone.active_partition = None
         clone.deadline = None
+        clone.span = None
         return clone
 
     def _pre_batch(self, detail: str = "") -> None:
@@ -165,13 +169,22 @@ class PredictRuntime:
         batch_size = batch_size or self.batch_size
         if num_rows <= batch_size:
             self._pre_batch(detail=f"rows={num_rows}")
+            if self.span is not None:
+                with self.span.child("predict.batch", category="predict",
+                                     rows=num_rows):
+                    return session.run(inputs, wanted)
             return session.run(inputs, wanted)
         pieces: Dict[str, List[np.ndarray]] = {name: [] for name in wanted}
         n_chunks = -(-num_rows // batch_size)
         for start, stop in chunk_ranges(num_rows, n_chunks):
             self._pre_batch(detail=f"rows={stop - start}")
             batch = {name: array[start:stop] for name, array in inputs.items()}
-            result = session.run(batch, wanted)
+            if self.span is not None:
+                with self.span.child("predict.batch", category="predict",
+                                     rows=stop - start):
+                    result = session.run(batch, wanted)
+            else:
+                result = session.run(batch, wanted)
             for name in wanted:
                 pieces[name].append(result[name])
         return {name: np.concatenate(chunks) for name, chunks in pieces.items()}
@@ -180,9 +193,14 @@ class PredictRuntime:
                     inputs: Dict[str, np.ndarray],
                     wanted: List[str]) -> Dict[str, np.ndarray]:
         self._pre_batch(detail=f"device={runtime.device.name}")
+        span = (self.span.child("predict.batch", category="predict",
+                                device=runtime.device.name)
+                if self.span is not None else None)
         started = time.perf_counter()
         result = runtime.run(graph, inputs)
         measured = time.perf_counter() - started
+        if span is not None:
+            span.finish()
         if runtime.device.simulated:
             self.gpu_time_adjustment += result.seconds - measured
         missing = [name for name in wanted if name not in result.outputs]
@@ -218,7 +236,7 @@ class QueryExecutor:
 
     def __init__(self, catalog: Catalog, runtime: Optional[PredictRuntime] = None,
                  dop: int = 1, compile_expressions: bool = True,
-                 profiler=None, deadline=None, faults=None):
+                 profiler=None, deadline=None, faults=None, span=None):
         self.catalog = catalog
         self.runtime = runtime or PredictRuntime()
         self.dop = dop
@@ -232,10 +250,16 @@ class QueryExecutor:
         # fan-out and mirrored onto the predict runtime.
         self.deadline = deadline
         self.faults = faults
+        # Optional telemetry Span ("execute"): operator spans attach
+        # under it, and it is mirrored onto the predict runtime so
+        # predict batches land in the same tree.
+        self.span = span
         if deadline is not None:
             self.runtime.deadline = deadline
         if faults is not None:
             self.runtime.faults = faults
+        if span is not None:
+            self.runtime.span = span
 
     def _make_executor(self, scan_restrictions=None) -> Executor:
         return Executor(self.catalog, self.runtime,
@@ -244,7 +268,8 @@ class QueryExecutor:
                         exec_stats=self.exec_stats,
                         profiler=self.profiler,
                         deadline=self.deadline,
-                        faults=self.faults)
+                        faults=self.faults,
+                        span=self.span)
 
     def execute(self, plan: PlanNode) -> Table:
         from repro.relational.skipping import plan_partition_restrictions
@@ -263,6 +288,7 @@ class QueryExecutor:
                 profiler=self.profiler,
                 deadline=self.deadline,
                 faults=self.faults,
+                span=self.span,
             ).execute(plan)
         return self._execute_per_partition(plan, partitioned, skip)
 

@@ -58,7 +58,8 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.adaptive.feedback import FeedbackStore
-from repro.adaptive.profile import OperatorProfile, PlanProfiler
+from repro.adaptive.profile import OperatorProfile, PlanProfiler, \
+    plan_fingerprint
 from repro.adaptive.reopt import feedback_divergence
 from repro.core.binder import Binder
 from repro.core.executor import DEFAULT_BATCH_SIZE, PredictRuntime, QueryExecutor
@@ -106,6 +107,9 @@ from repro.serving.plan_cache import CachedPlan, PlanCache, dependency_versions
 from repro.storage.catalog import Catalog
 from repro.storage.partition import PartitionedTable
 from repro.storage.table import Table
+from repro.telemetry import Telemetry
+from repro.telemetry.explain import render_analyze
+from repro.telemetry.metrics import MetricsRegistry
 from repro.tensor.device import K80
 
 
@@ -142,6 +146,9 @@ class RunStats:
     # the adaptively-annotated plan.
     expression_fallbacks: int = 0
     static_plan: bool = False
+    # Structural fingerprint of the executed plan (joinable against the
+    # plan cache, the feedback store, and slow-query-log entries).
+    plan_fingerprint: Optional[str] = None
 
     @property
     def total_seconds(self) -> float:
@@ -156,44 +163,87 @@ class RunStats:
         return self.wall_seconds + self.gpu_adjustment_seconds
 
 
-@dataclass
+def _serving_counter_property(name: str) -> property:
+    """Attribute API over a registry counter (read / assign / ``+=``
+    under the session's ``_stats_lock``, exactly like the dataclass
+    attributes this class replaced)."""
+    def fget(self):
+        return self._counters[name].value
+
+    def fset(self, value):
+        self._counters[name].set(value)
+
+    return property(fget, fset)
+
+
 class ServingStats:
     """Counters for session serving traffic (monotonic).
 
     ``rejected`` counts queries refused by the ``"raise"`` backpressure
-    policy when the bounded pending-query depth was full. The resilience
-    counters (``retries`` onward) also cover direct ``sql()`` calls, not
-    just ``serve`` batches — a breaker trip is a breaker trip however
-    the query arrived.
+    policy when the bounded pending-query depth was full; ``failed`` are
+    queries whose final serve outcome was an error (retries exhausted or
+    non-retryable); ``retries`` are individual retry attempts;
+    ``deadline_exceeded`` counts :class:`DeadlineExceededError` raises;
+    ``degraded_runs`` are executions served from a breaker's static
+    re-optimization; ``expression_fallbacks`` are compiled-engine →
+    interpreted-oracle falls; the ``breaker_*`` fields mirror the
+    board's transitions. The resilience counters also cover direct
+    ``sql()`` calls, not just ``serve`` batches — a breaker trip is a
+    breaker trip however the query arrived.
+
+    Counters live on a :class:`~repro.telemetry.metrics.MetricsRegistry`
+    as ``serving_<field>`` (the session's shared registry, so one
+    metrics snapshot or Prometheus scrape sees them); the attribute API
+    is preserved bit-for-bit by properties.
     """
 
-    submitted: int = 0
-    completed: int = 0
-    rejected: int = 0
-    # Queries whose final serve outcome was an error (retries exhausted
-    # or non-retryable failure).
-    failed: int = 0
-    # Individual retry attempts performed by a RetryPolicy.
-    retries: int = 0
-    # Queries that raised DeadlineExceededError.
-    deadline_exceeded: int = 0
-    # Executions served from a breaker's static re-optimization.
-    degraded_runs: int = 0
-    # Compiled-engine -> interpreted-oracle expression fallbacks.
-    expression_fallbacks: int = 0
-    # Circuit-breaker transitions (mirrors the board's BreakerStats).
-    breaker_trips: int = 0
-    breaker_reopens: int = 0
-    breaker_half_opens: int = 0
-    breaker_closes: int = 0
+    FIELDS = ("submitted", "completed", "rejected", "failed", "retries",
+              "deadline_exceeded", "degraded_runs", "expression_fallbacks",
+              "breaker_trips", "breaker_reopens", "breaker_half_opens",
+              "breaker_closes")
+
+    __slots__ = ("_counters",)
+
+    def __init__(self, submitted: int = 0, completed: int = 0,
+                 rejected: int = 0, failed: int = 0, retries: int = 0,
+                 deadline_exceeded: int = 0, degraded_runs: int = 0,
+                 expression_fallbacks: int = 0, breaker_trips: int = 0,
+                 breaker_reopens: int = 0, breaker_half_opens: int = 0,
+                 breaker_closes: int = 0,
+                 registry: Optional[MetricsRegistry] = None):
+        if registry is None:
+            registry = MetricsRegistry()
+        values = (submitted, completed, rejected, failed, retries,
+                  deadline_exceeded, degraded_runs, expression_fallbacks,
+                  breaker_trips, breaker_reopens, breaker_half_opens,
+                  breaker_closes)
+        self._counters = {}
+        for name, value in zip(self.FIELDS, values):
+            counter = registry.counter(f"serving_{name}")
+            if value:
+                counter.inc(value)
+            self._counters[name] = counter
+
+    def _values(self) -> Tuple[int, ...]:
+        return tuple(self._counters[name].value for name in self.FIELDS)
 
     def snapshot(self) -> "ServingStats":
-        return ServingStats(self.submitted, self.completed, self.rejected,
-                            self.failed, self.retries,
-                            self.deadline_exceeded, self.degraded_runs,
-                            self.expression_fallbacks, self.breaker_trips,
-                            self.breaker_reopens, self.breaker_half_opens,
-                            self.breaker_closes)
+        return ServingStats(*self._values())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ServingStats):
+            return NotImplemented
+        return self._values() == other._values()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={value}" for name, value
+                          in zip(self.FIELDS, self._values()))
+        return f"ServingStats({inner})"
+
+
+for _field in ServingStats.FIELDS:
+    setattr(ServingStats, _field, _serving_counter_property(_field))
+del _field
 
 
 class RavenSession:
@@ -215,8 +265,14 @@ class RavenSession:
                  warm_start: Union[str, Path, Snapshot, None] = None,
                  profile_sample_rate: Optional[int] = None,
                  breakers: Union[CircuitBreakerBoard, bool] = True,
-                 faults: Optional[FaultInjector] = None):
+                 faults: Optional[FaultInjector] = None,
+                 telemetry: Union[Telemetry, bool, None] = None):
         self.catalog = Catalog()
+        # Runtime telemetry (repro.telemetry): the default keeps the
+        # unified metrics registry on and per-query tracing off;
+        # telemetry=True also captures span trees; pass a configured
+        # Telemetry to share a registry or tune thresholds.
+        self.telemetry = Telemetry.coerce(telemetry)
         # Compiled expression engine (CSE + masked CASE routing) for
         # Filter/Project evaluation; False selects the interpreted
         # np.select path (the differential-testing oracle).
@@ -241,7 +297,7 @@ class RavenSession:
         if self.adaptive:
             self.runtime.feedback = self.feedback
         self.last_run: Optional[RunStats] = None
-        self.serving_stats = ServingStats()
+        self.serving_stats = ServingStats(registry=self.telemetry.metrics)
         # Fault injection (repro.resilience): when set, every registered
         # site in this session's stack consults the injector. None (the
         # default) keeps the hooks to a single attribute check.
@@ -264,7 +320,13 @@ class RavenSession:
             self.plan_cache = PlanCache() if plan_cache else None
         if self.plan_cache is not None:
             self.plan_cache.attach(self.catalog)
+            # Re-home the cache's counters onto the session registry so
+            # one snapshot sees cache + serving + latency together.
+            self.plan_cache.stats.bind(self.telemetry.metrics)
         self._stats_lock = threading.Lock()
+        # Thread-local retry context: _attempt_query stamps the attempt
+        # number here so the query trace can carry it.
+        self._attempt_context = threading.local()
         # Sampled re-profiling: with a rate N, a *fixed-point* cached plan
         # is profiled on every Nth hit instead of every call (fresh and
         # still-converging plans always profile, so the feedback loop
@@ -516,7 +578,8 @@ class RavenSession:
             return plan, OptimizationReport()
         return self._optimizer(static=static).optimize(bound)
 
-    def _plan_for(self, query: str, normalized=None, deadline=None):
+    def _plan_for(self, query: str, normalized=None, deadline=None,
+                  span=None):
         """Resolve a query through the cache.
 
         Returns ``(plan, report, cache_hit, key, entry)`` — ``key``/
@@ -544,8 +607,12 @@ class RavenSession:
             normalized = normalize_query(query)
         entry, flight, owner = self.plan_cache.begin(normalized.key, self.catalog)
         if entry is not None:
+            if span is not None:
+                span.event("cache.hit")
             return entry.plan, entry.report, True, normalized.key, entry
         if not owner:
+            if span is not None:
+                span.event("cache.join")
             if deadline is not None:
                 entry = self.plan_cache.join(
                     flight, self.catalog,
@@ -553,13 +620,19 @@ class RavenSession:
             else:
                 entry = self.plan_cache.join(flight, self.catalog)
             if entry is not None:
+                if span is not None:
+                    span.event("cache.coalesced")
                 return entry.plan, entry.report, True, normalized.key, entry
             # Owner failed, timed out, or its entry was invalidated:
             # optimize here.
+            if span is not None:
+                span.event("cache.miss")
             entry = self._optimize_to_entry(query, normalized,
                                             deadline=deadline)
             self.plan_cache.put(normalized.key, entry)
             return entry.plan, entry.report, False, normalized.key, entry
+        if span is not None:
+            span.event("cache.miss")
         try:
             entry = self._optimize_to_entry(query, normalized,
                                             deadline=deadline)
@@ -595,11 +668,53 @@ class RavenSession:
             versions=versions,
         )
 
-    def explain(self, query: str) -> str:
-        """Optimized plan rendering plus the optimizer's report."""
+    def explain(self, query: str, analyze: bool = False) -> str:
+        """Optimized plan rendering plus the optimizer's report.
+
+        With ``analyze=True`` the query is actually executed (through
+        the plan cache, so warm entries render as cache hits) and the
+        plan is annotated with *observed* per-operator rows in/out,
+        selectivity, and self-time, plus the serving context that
+        produced it: cache hit/miss, circuit-breaker state, plan
+        fingerprint, and compile-vs-reuse counts.
+        """
+        if analyze:
+            return self._explain_analyze(query)
         plan, report = self.optimize(query)
         return plan.pretty(self.catalog) + "\n-- " + \
             report.summary().replace("\n", "\n-- ")
+
+    def _explain_analyze(self, query: str) -> str:
+        """Execute ``query`` with profiling forced on and render the
+        observed plan. Goes through the plan cache (so the rendering
+        reflects real serving state) but not the breaker board — an
+        EXPLAIN must not consume a half-open breaker's trial slot."""
+        normalized = (normalize_query(query)
+                      if self.plan_cache is not None else None)
+        optimize_started = time.perf_counter()
+        plan, report, cache_hit, _key, _entry = self._plan_for(
+            query, normalized=normalized)
+        optimize_seconds = time.perf_counter() - optimize_started
+        _table, stats = self._execute(
+            plan, report, optimize_seconds, cache_hit=cache_hit,
+            profile=True, force_profile=True,
+            record_feedback=self.adaptive)
+        breaker_state = None
+        if self.breakers is not None and normalized is not None:
+            breaker_state = self.breakers.state(normalized.key)
+        info = {
+            "cache_hit": cache_hit,
+            "static_plan": stats.static_plan,
+            "breaker_state": breaker_state,
+            "plan_fingerprint": stats.plan_fingerprint,
+            "optimize_seconds": optimize_seconds,
+            "execute_seconds": stats.execute_seconds,
+            "programs_compiled": stats.programs_compiled,
+            "programs_reused": stats.programs_reused,
+            "expression_fallbacks": stats.expression_fallbacks,
+        }
+        return render_analyze(stats.operator_profiles, info=info,
+                              report=report)
 
     def to_sql_server(self, query: str) -> str:
         """T-SQL text of the optimized plan (paper §6: SQL Server output)."""
@@ -642,6 +757,39 @@ class RavenSession:
         ``serving_stats.degraded_runs``).
         """
         deadline = Deadline.coerce(deadline)
+        telemetry = self.telemetry
+        trace = telemetry.start_trace(query) if telemetry.enabled else None
+        if trace is not None:
+            attempt = getattr(self._attempt_context, "attempt", None)
+            if attempt is not None:
+                trace.root.set(attempt=attempt)
+        started = time.perf_counter()
+        try:
+            table, stats = self._sql_routed(query, deadline, trace)
+        except BaseException as error:
+            if telemetry.enabled:
+                if trace is not None:
+                    telemetry.tracer.finish(trace, status="error",
+                                            error=error)
+                telemetry.observe_query(
+                    query, time.perf_counter() - started, trace=trace,
+                    error=error)
+            raise
+        if telemetry.enabled:
+            if trace is not None:
+                trace.root.set(cache_hit=stats.cache_hit,
+                               static_plan=stats.static_plan,
+                               plan_fingerprint=stats.plan_fingerprint)
+                telemetry.tracer.finish(trace)
+            telemetry.observe_query(query, time.perf_counter() - started,
+                                    stats=stats, trace=trace)
+        return table, stats
+
+    def _sql_routed(self, query: str, deadline: Optional[Deadline],
+                    trace=None) -> Tuple[Table, RunStats]:
+        """Route one query: breaker admission, then the adaptive path or
+        the degraded static one. Breaker transitions land on the trace
+        root as events."""
         key = None
         route = None
         normalized = None
@@ -652,31 +800,46 @@ class RavenSession:
             if route == ROUTE_TRIAL:
                 with self._stats_lock:
                     self.serving_stats.breaker_half_opens += 1
+                if trace is not None:
+                    trace.root.event("breaker.trial")
             elif route == ROUTE_DEGRADED:
-                return self._sql_degraded(query, normalized, deadline)
+                if trace is not None:
+                    trace.root.event("breaker.degraded")
+                return self._sql_degraded(query, normalized, deadline,
+                                          trace=trace)
         try:
-            table, stats = self._sql_adaptive(query, deadline, normalized)
+            table, stats = self._sql_adaptive(query, deadline, normalized,
+                                              trace=trace)
         except BaseException as error:
-            self._breaker_outcome(key, route, error)
+            self._breaker_outcome(key, route, error, trace=trace)
             if isinstance(error, DeadlineExceededError):
                 with self._stats_lock:
                     self.serving_stats.deadline_exceeded += 1
             raise
-        self._breaker_outcome(key, route, None)
+        self._breaker_outcome(key, route, None, trace=trace)
         return table, stats
 
-    def _sql_adaptive(self, query: str, deadline, normalized
+    def _sql_adaptive(self, query: str, deadline, normalized, trace=None
                       ) -> Tuple[Table, RunStats]:
         """The ordinary (non-degraded) plan-cache + adaptive-loop path."""
         optimize_started = time.perf_counter()
-        plan, report, cache_hit, key, entry = self._plan_for(
-            query, normalized=normalized, deadline=deadline)
+        span = (trace.root.child("optimize", category="optimize")
+                if trace is not None else None)
+        try:
+            plan, report, cache_hit, key, entry = self._plan_for(
+                query, normalized=normalized, deadline=deadline, span=span)
+        except BaseException:
+            if span is not None:
+                span.finish(status="error")
+            raise
+        if span is not None:
+            span.finish(cache_hit=cache_hit)
         optimize_seconds = time.perf_counter() - optimize_started
         table, stats = self._execute(plan, report, optimize_seconds,
                                      cache_hit=cache_hit,
                                      profile=self._should_profile(entry,
                                                                   cache_hit),
-                                     deadline=deadline)
+                                     deadline=deadline, trace=trace)
         if (entry is not None and self.adaptive
                 and stats.operator_profiles is not None
                 and self.plan_cache is not None):
@@ -691,7 +854,9 @@ class RavenSession:
             if drifted or feedback_divergence(entry.plan, self.feedback,
                                               self.runtime.batch_size,
                                               self.catalog):
-                self.plan_cache.mark_stale(key, entry)
+                if self.plan_cache.mark_stale(key, entry) \
+                        and trace is not None:
+                    trace.root.event("plan.stale", drifted=len(drifted))
                 for fingerprint in drifted:
                     self.feedback.consume_drift(fingerprint)
                 entry.fixed_point = False
@@ -704,7 +869,7 @@ class RavenSession:
                 self._maybe_checkpoint()
         return table, stats
 
-    def _sql_degraded(self, query: str, normalized, deadline
+    def _sql_degraded(self, query: str, normalized, deadline, trace=None
                       ) -> Tuple[Table, RunStats]:
         """Serve an open-breaker query from its static re-optimization.
 
@@ -716,16 +881,32 @@ class RavenSession:
         with self._stats_lock:
             self.serving_stats.degraded_runs += 1
         optimize_started = time.perf_counter()
-        entry = self.breakers.static_entry(normalized.key, self.catalog)
-        if entry is None:
-            entry = self._optimize_to_entry(query, normalized,
-                                            deadline=deadline, static=True)
-            self.breakers.set_static_entry(normalized.key, entry)
+        span = (trace.root.child("optimize", category="optimize",
+                                 static=True)
+                if trace is not None else None)
+        try:
+            entry = self.breakers.static_entry(normalized.key, self.catalog)
+            if entry is None:
+                if span is not None:
+                    span.event("cache.miss")
+                entry = self._optimize_to_entry(query, normalized,
+                                                deadline=deadline,
+                                                static=True)
+                self.breakers.set_static_entry(normalized.key, entry)
+            elif span is not None:
+                span.event("cache.hit")
+        except BaseException:
+            if span is not None:
+                span.finish(status="error")
+            raise
+        if span is not None:
+            span.finish()
         optimize_seconds = time.perf_counter() - optimize_started
         try:
             table, stats = self._execute(entry.plan, entry.report,
                                          optimize_seconds, cache_hit=False,
-                                         profile=False, deadline=deadline)
+                                         profile=False, deadline=deadline,
+                                         trace=trace)
         except DeadlineExceededError:
             with self._stats_lock:
                 self.serving_stats.deadline_exceeded += 1
@@ -733,7 +914,7 @@ class RavenSession:
         stats.static_plan = True
         return table, stats
 
-    def _breaker_outcome(self, key, route, error) -> None:
+    def _breaker_outcome(self, key, route, error, trace=None) -> None:
         """Report one adaptive-path result to the breaker board.
 
         Failures are library errors (RavenError, including deadline
@@ -754,6 +935,8 @@ class RavenSession:
             return
         if event is None:
             return
+        if trace is not None:
+            trace.root.event(f"breaker.{event}")
         with self._stats_lock:
             if event == EVENT_TRIPPED:
                 self.serving_stats.breaker_trips += 1
@@ -969,6 +1152,7 @@ class RavenSession:
         slept = 0.0
         while True:
             attempts += 1
+            self._attempt_context.attempt = attempts
             try:
                 # Only pass the kwarg when set: callers (and tests) may
                 # wrap sql_with_stats with a single-argument callable.
@@ -999,6 +1183,8 @@ class RavenSession:
                 time.sleep(delay)
                 slept += delay
                 continue
+            finally:
+                self._attempt_context.attempt = None
             return QueryOutcome(
                 query=query, table=table, stats=stats, attempts=attempts,
                 degraded=outcome_degraded_flags(stats, attempts))
@@ -1022,20 +1208,36 @@ class RavenSession:
     def _execute(self, plan: PlanNode, report: Optional[OptimizationReport],
                  optimize_seconds: float, cache_hit: bool = False,
                  profile: bool = True,
-                 deadline: Optional[Deadline] = None
+                 deadline: Optional[Deadline] = None,
+                 trace=None, force_profile: bool = False,
+                 record_feedback: bool = True
                  ) -> Tuple[Table, RunStats]:
         # Per-call runtime view: shares the inference-session and compiled-
         # program caches but keeps partition dispatch and GPU-time
         # accounting local, so concurrent calls never interleave state.
         runtime = self.runtime.for_call()
-        profiler = PlanProfiler() if (self.adaptive and profile) else None
+        # force_profile (EXPLAIN ANALYZE) profiles even for adaptive=False
+        # sessions; record_feedback then gates whether the observations
+        # feed the adaptive loop.
+        profiler = (PlanProfiler()
+                    if ((self.adaptive or force_profile) and profile)
+                    else None)
+        span = (trace.root.child("execute", category="execute")
+                if trace is not None else None)
         executor = QueryExecutor(self.catalog, runtime, dop=self.dop,
                                  compile_expressions=self.compile_expressions,
                                  profiler=profiler, deadline=deadline,
-                                 faults=self.faults)
+                                 faults=self.faults, span=span)
         started = time.perf_counter()
-        result = executor.execute(plan)
+        try:
+            result = executor.execute(plan)
+        except BaseException:
+            if span is not None:
+                span.finish(status="error")
+            raise
         wall = time.perf_counter() - started
+        if span is not None:
+            span.finish(rows=result.num_rows)
         fallbacks = executor.exec_stats.expression_fallbacks
         with self._stats_lock:
             self.runtime.gpu_time_adjustment += runtime.gpu_time_adjustment
@@ -1044,7 +1246,8 @@ class RavenSession:
         profiles: Optional[OperatorProfile] = None
         if profiler is not None:
             profiles = profiler.profile_tree(plan)
-            self.feedback.record_profile(profiles)
+            if record_feedback and self.feedback is not None:
+                self.feedback.record_profile(profiles)
         stats = RunStats(
             wall_seconds=wall,
             gpu_adjustment_seconds=runtime.gpu_time_adjustment,
@@ -1056,6 +1259,7 @@ class RavenSession:
             programs_reused=executor.exec_stats.programs_reused,
             operator_profiles=profiles,
             expression_fallbacks=fallbacks,
+            plan_fingerprint=plan_fingerprint(plan),
         )
         self.last_run = stats
         return result, stats

@@ -89,6 +89,15 @@ DEFAULT_GATES: Sequence[Gate] = (
     # wide band like the other small-denominator ratios.
     Gate("resilience", "availability", tolerance=0.0),
     Gate("resilience", "p99_blowup", LOWER_IS_BETTER, tolerance=0.40),
+    # Telemetry overhead ratios. Both hover at ~1.0x on a ~10ms warmed
+    # query (interleaved-round medians damp machine drift), so the
+    # bands are small absolute slack: a default-layer regression to
+    # ~1.05x of its trailing median means per-query observation grew
+    # real work (allocation, lock contention), and tracing drifting
+    # past ~1.10x of its median approaches the bench's own 1.10x hard
+    # ceiling.
+    Gate("telemetry", "disabled_overhead", LOWER_IS_BETTER, tolerance=0.05),
+    Gate("telemetry", "tracing_overhead", LOWER_IS_BETTER, tolerance=0.10),
 )
 
 

@@ -120,7 +120,7 @@ class Executor:
                  scan_restrictions: Optional[Dict[str, object]] = None,
                  compile_expressions: bool = True,
                  exec_stats: Optional[ExecStats] = None,
-                 profiler=None, deadline=None, faults=None):
+                 profiler=None, deadline=None, faults=None, span=None):
         self.catalog = catalog
         self.predict_executor = predict_executor
         self.scan_restrictions = scan_restrictions or {}
@@ -132,6 +132,12 @@ class Executor:
         # executor.compile). Both default off with zero hot-path cost.
         self.deadline = deadline
         self.faults = faults
+        # Telemetry: when a parent Span is given, every operator records
+        # a child span with rows in/out. Each Executor instance runs its
+        # plan on one thread (chunk parallelism builds one Executor per
+        # chunk), so a plain list works as the span stack; concurrent
+        # child appends on the shared parent are trace-lock protected.
+        self._span_stack = [span] if span is not None else None
 
     # ------------------------------------------------------------------
     def execute(self, plan: PlanNode) -> Table:
@@ -142,6 +148,30 @@ class Executor:
         method = getattr(self, f"_exec_{type(plan).__name__.lower()}", None)
         if method is None:
             raise ExecutionError(f"no executor for operator {type(plan).__name__}")
+        if self._span_stack is None:
+            return self._run_timed(plan, method)
+        span = self._span_stack[-1].child(type(plan).__name__,
+                                          category="operator")
+        self._span_stack.append(span)
+        try:
+            result = self._run_timed(plan, method)
+        except BaseException:
+            span.finish(status="error")
+            raise
+        finally:
+            self._span_stack.pop()
+        operator_children = [child for child in span.children
+                             if child.category == "operator"]
+        if operator_children:
+            rows_in = sum((child.attributes or {}).get("rows", 0)
+                          for child in operator_children)
+        else:
+            # Leaf (Scan): rows read == rows produced.
+            rows_in = result.num_rows
+        span.finish(rows_in=rows_in, rows=result.num_rows)
+        return result
+
+    def _run_timed(self, plan: PlanNode, method) -> TableView:
         # Deadline checks bracket the operator: the entry check fires
         # during plan descent, the exit check fires right after this
         # operator's own work — so a query overruns its deadline by at

@@ -84,7 +84,7 @@ class ParallelExecutor:
                  predict_executor: Optional[PredictExecutor] = None,
                  compile_expressions: bool = True,
                  exec_stats: Optional[ExecStats] = None,
-                 profiler=None, deadline=None, faults=None):
+                 profiler=None, deadline=None, faults=None, span=None):
         if dop < 1:
             raise ValueError("dop must be >= 1")
         self.catalog = catalog
@@ -99,6 +99,9 @@ class ParallelExecutor:
         # monotonic clock) and FaultInjector, shared across chunks.
         self.deadline = deadline
         self.faults = faults
+        # Shared parent telemetry Span: each chunk's operator spans
+        # attach under it (appends are trace-lock protected).
+        self.span = span
 
     def _make_executor(self, scan_restrictions=None) -> Executor:
         return Executor(self.catalog, self.predict_executor,
@@ -107,7 +110,8 @@ class ParallelExecutor:
                         exec_stats=self.exec_stats,
                         profiler=self.profiler,
                         deadline=self.deadline,
-                        faults=self.faults)
+                        faults=self.faults,
+                        span=self.span)
 
     def execute(self, plan: PlanNode) -> Table:
         if self.dop == 1:

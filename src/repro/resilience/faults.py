@@ -25,6 +25,9 @@ Registered sites:
                            (``torn`` = crash mid-write leaving a partial
                            temp file)
 ``ledger.append``          obsv perf-ledger appends (``torn`` likewise)
+``telemetry.dump``         trace-ring / slow-query-log / metrics disk dumps
+                           (``torn`` = crash mid-dump; serving continues and
+                           the previous dump stays intact)
 ========================  ====================================================
 
 Scheduling is deterministic two ways: ``on_hits`` fires on exact 1-based
@@ -51,6 +54,7 @@ SITE_PLAN_OPTIMIZE = "plan_cache.optimize"
 SITE_BATCHER_EXECUTE = "batcher.execute"
 SITE_SNAPSHOT_WRITE = "snapshot.write"
 SITE_LEDGER_APPEND = "ledger.append"
+SITE_TELEMETRY_DUMP = "telemetry.dump"
 
 #: Every injection point registered in the serving stack. ``inject``
 #: validates against this set so a typo'd site name fails loudly instead
@@ -63,6 +67,7 @@ SITES = frozenset({
     SITE_BATCHER_EXECUTE,
     SITE_SNAPSHOT_WRITE,
     SITE_LEDGER_APPEND,
+    SITE_TELEMETRY_DUMP,
 })
 
 MODE_ERROR = "error"

@@ -98,6 +98,24 @@ class MicroBatcher:
         self.max_batch_rows = max_batch_rows
         self.max_delay = max_delay
         self.stats = BatcherStats()
+        # Telemetry (when the session carries a repro.telemetry.Telemetry):
+        # live queue-depth gauges and a coalesced-batch-size histogram on
+        # the session's shared registry, plus a per-batch trace when
+        # tracing is enabled — closing the blind spot between submit and
+        # future resolution.
+        telemetry = getattr(session, "telemetry", None)
+        if telemetry is not None:
+            metrics = telemetry.metrics
+            self._queue_rows_gauge = metrics.gauge("batcher_queue_rows")
+            self._queue_requests_gauge = metrics.gauge(
+                "batcher_queue_requests")
+            self._batch_rows_hist = metrics.histogram(
+                "batcher_batch_rows",
+                bounds=[float(2 ** power) for power in range(18)])
+        else:
+            self._queue_rows_gauge = None
+            self._queue_requests_gauge = None
+            self._batch_rows_hist = None
         self._graphs: Dict[str, object] = {}
         # Names resolved from the catalog (vs. explicit register_endpoint);
         # these are dropped when the underlying model is re-registered so
@@ -205,6 +223,9 @@ class MicroBatcher:
                 self._oldest = time.monotonic()
             self.stats.requests += 1
             self.stats.rows += request.rows
+            if self._queue_rows_gauge is not None:
+                self._queue_rows_gauge.inc(request.rows)
+                self._queue_requests_gauge.inc()
             self._condition.notify_all()
         return future
 
@@ -217,6 +238,12 @@ class MicroBatcher:
             drained = {name: reqs for name, reqs in self._queues.items() if reqs}
             self._queues = {}
             self._oldest = None
+            if self._queue_rows_gauge is not None and drained:
+                self._queue_rows_gauge.dec(
+                    sum(request.rows for requests in drained.values()
+                        for request in requests))
+                self._queue_requests_gauge.dec(
+                    sum(len(requests) for requests in drained.values()))
         executed = 0
         for model, requests in drained.items():
             self._execute_batch(model, requests)
@@ -226,6 +253,18 @@ class MicroBatcher:
     def _execute_batch(self, model: str, requests: List[_Request]) -> None:
         graph = self._graph_for(model)
         runtime = self.session.runtime
+        telemetry = getattr(self.session, "telemetry", None)
+        trace = (telemetry.start_trace(f"batcher:{model}",
+                                       root_name=f"batcher:{model}",
+                                       model=model, requests=len(requests))
+                 if telemetry is not None else None)
+        if trace is not None:
+            # A per-call runtime clone carries the span, so this batch's
+            # predict spans land in *this* trace rather than a concurrent
+            # query's; the clone's simulated-GPU accounting is folded
+            # back below.
+            runtime = runtime.for_call()
+            runtime.span = trace.root
         try:
             # Fault hook inside the try: an injected batch failure takes
             # the same path as a real one — every coalesced request's
@@ -252,10 +291,25 @@ class MicroBatcher:
                 feedback.record_predict(model, total,
                                         time.perf_counter() - started)
         except BaseException as error:  # noqa: B036 - propagate to waiters
+            if trace is not None:
+                telemetry.tracer.finish(trace, status="error", error=error)
             for request in requests:
                 if not request.future.cancelled():
                     request.future.set_exception(error)
             return
+        if trace is not None:
+            trace.root.set(rows=total)
+            telemetry.tracer.finish(trace)
+            lock = getattr(self.session, "_stats_lock", None)
+            if lock is not None:
+                with lock:
+                    self.session.runtime.gpu_time_adjustment += \
+                        runtime.gpu_time_adjustment
+            else:
+                self.session.runtime.gpu_time_adjustment += \
+                    runtime.gpu_time_adjustment
+        if self._batch_rows_hist is not None:
+            self._batch_rows_hist.observe(total)
         with self._condition:
             self.stats.batches += 1
             self.stats.largest_batch = max(self.stats.largest_batch,
@@ -317,6 +371,10 @@ class MicroBatcher:
                            for request in requests]
                 self._queues = {}
                 self._oldest = None
+                if self._queue_rows_gauge is not None and drained:
+                    self._queue_rows_gauge.dec(
+                        sum(request.rows for request in drained))
+                    self._queue_requests_gauge.dec(len(drained))
             error = ExecutionError(
                 f"MicroBatcher.close(): worker thread still alive after "
                 f"{timeout}s; {len(drained)} pending request(s) failed"

@@ -1,0 +1,80 @@
+"""EXPLAIN ANALYZE rendering: the optimized plan, annotated with what
+actually happened when it ran.
+
+:func:`render_analyze` combines three evidence sources into one text
+block:
+
+* the optimized plan shape (via the profile tree, which mirrors it
+  node-for-node — including nodes that never executed, shown with zero
+  calls);
+* observed per-operator rows in/out, selectivity, and self-time from
+  :class:`repro.adaptive.profile.OperatorProfile` (plus per-conjunct and
+  per-join-step sub-lines where the executor recorded them);
+* the serving context that produced the plan: cache hit vs miss vs
+  degraded-static route, breaker state, plan fingerprint, compile-vs-
+  reuse counts, and the optimizer's own rule report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+def _format_seconds(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "?"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def render_analyze(profile, info: Optional[Dict[str, object]] = None,
+                   report=None) -> str:
+    """Render an EXPLAIN ANALYZE block.
+
+    ``profile`` is the root :class:`OperatorProfile` of the executed
+    plan; ``info`` carries the serving context (cache_hit, static_plan,
+    breaker_state, plan_fingerprint, optimize/execute seconds,
+    programs_compiled/reused, expression_fallbacks); ``report`` is the
+    optimizer's rule report, appended as commented lines.
+    """
+    info = info or {}
+    lines: List[str] = ["EXPLAIN ANALYZE"]
+
+    route = "degraded-static" if info.get("static_plan") else "adaptive"
+    cache = "hit" if info.get("cache_hit") else "miss"
+    lines.append(f"route: {route} | plan cache: {cache}")
+
+    breaker = info.get("breaker_state")
+    if breaker is not None:
+        lines.append(f"breaker: {breaker}")
+
+    fingerprint = info.get("plan_fingerprint")
+    if fingerprint:
+        lines.append(f"plan fingerprint: {fingerprint}")
+
+    optimize = info.get("optimize_seconds")
+    execute = info.get("execute_seconds")
+    if optimize is not None or execute is not None:
+        lines.append(f"optimize: {_format_seconds(optimize)} | "
+                     f"execute: {_format_seconds(execute)}")
+
+    compiled = info.get("programs_compiled")
+    reused = info.get("programs_reused")
+    if compiled is not None or reused is not None:
+        lines.append(f"expression programs: {compiled or 0} compiled, "
+                     f"{reused or 0} reused")
+
+    fallbacks = info.get("expression_fallbacks")
+    if fallbacks:
+        lines.append(f"expression fallbacks: {fallbacks}")
+
+    lines.append("")
+    lines.append("plan (observed rows in->out, selectivity, self time):")
+    lines.append(profile.pretty())
+
+    if report is not None:
+        summary = report.summary()
+        if summary:
+            lines.append("")
+            lines.append("-- " + summary.replace("\n", "\n-- "))
+
+    return "\n".join(lines)
