@@ -33,7 +33,7 @@ from repro.resilience import (
     QueryOutcome,
     RetryPolicy,
 )
-from repro.serving import MicroBatcher, PlanCache
+from repro.serving import MicroBatcher, PlanCache, ShardRouter
 from repro.storage.catalog import Catalog
 from repro.storage.partition import PartitionedTable
 from repro.storage.table import Schema, Table
@@ -46,7 +46,8 @@ __all__ = [
     "FaultInjector", "FeedbackStore", "MetricsRegistry", "MicroBatcher",
     "OperatorProfile", "OptimizationReport", "PartitionedTable", "PlanCache",
     "QueryOutcome", "RavenError", "RavenOptimizer", "RavenSession",
-    "RetryPolicy", "RunStats", "Schema", "ServingStats", "SlowQueryLog",
+    "RetryPolicy", "RunStats", "Schema", "ServingStats", "ShardRouter",
+    "SlowQueryLog",
     "Snapshot", "SnapshotStore", "Table", "Telemetry", "Tracer",
     "__version__",
 ]

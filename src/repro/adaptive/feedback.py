@@ -44,7 +44,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.adaptive.profile import OperatorProfile
+from repro.adaptive.profile import OperatorProfile, partition_fingerprint
 from repro.errors import PersistError
 
 # Versioned wire format of export_state()/merge_state() payloads.
@@ -299,6 +299,12 @@ class FeedbackStore:
                                   f"joinstep:{step.detail}",
                                   step.cross_rows, step.rows_out,
                                   step.seconds, step.calls)
+                for part in profile.partitions:
+                    self._observe(part.fingerprint,
+                                  f"partition:{profile.operator}"
+                                  f":{part.partition}",
+                                  part.rows_in, part.rows_out, part.seconds,
+                                  part.calls)
 
     def _observe(self, fingerprint: str, operator: str, rows_in: int,
                  rows_out: int, seconds: float, calls: int) -> None:
@@ -320,6 +326,23 @@ class FeedbackStore:
         while len(self._models) > self.max_model_entries:
             self._models.popitem(last=False)
             self.stats.model_evictions += 1
+
+    def record_partition(self, fingerprint: str, partition: int,
+                         rows_in: int, rows_out: int,
+                         seconds: float) -> None:
+        """Record one partition-restricted execution of an operator.
+
+        The morsel executor calls this per finished morsel (several
+        morsels of one partition accumulate under one key). Entries live
+        in the same operator map under the composed
+        :func:`~repro.adaptive.profile.partition_fingerprint`, so they
+        export, merge and LRU-bound exactly like every other
+        observation.
+        """
+        with self._lock:
+            self._observe(partition_fingerprint(fingerprint, partition),
+                          f"partition:{fingerprint}:{partition}",
+                          rows_in, rows_out, seconds, 1)
 
     def record_predict(self, model_name: str, rows: int,
                        seconds: float) -> None:
@@ -357,6 +380,17 @@ class FeedbackStore:
     def seconds_per_row(self, fingerprint: str) -> Optional[float]:
         feedback = self.observed(fingerprint)
         return feedback.seconds_per_row_ewma if feedback else None
+
+    def partition_selectivity(self, fingerprint: str,
+                              partition: int) -> Optional[float]:
+        """Observed survival rate of one partition under an operator."""
+        return self.selectivity(partition_fingerprint(fingerprint, partition))
+
+    def partition_seconds_per_row(self, fingerprint: str,
+                                  partition: int) -> Optional[float]:
+        """Observed per-scanned-row cost of one partition's segment."""
+        return self.seconds_per_row(
+            partition_fingerprint(fingerprint, partition))
 
     def predict_per_row_cost(self, model_name: str) -> Optional[float]:
         with self._lock:

@@ -119,6 +119,20 @@ def plan_fingerprint(node: PlanNode) -> str:
     return fingerprint
 
 
+def partition_fingerprint(fingerprint: str, partition: int) -> str:
+    """Fingerprint of one partition's view of an operator.
+
+    The partition dimension of the feedback store: observations of the
+    same structural operator over different partitions of its table
+    accumulate separately, so per-shard selectivity skew is learnable
+    (data-induced plan specialization, skew-aware morsel scheduling).
+    Keyed by partition *index* — partitioning is part of the catalog
+    entry, so an index is stable until the table itself is replaced,
+    which also rolls the plan fingerprints it composes with.
+    """
+    return _digest(f"partition:{fingerprint}:{partition}")
+
+
 def conjunct_fingerprint(filter_node: Filter, index: int) -> str:
     """Fingerprint of one conjunct of a Filter's predicate.
 
@@ -383,6 +397,32 @@ class JoinStepProfile:
 
 
 @dataclass
+class PartitionProfile:
+    """Observed behaviour of one partition under one operator.
+
+    Recorded by partition-restricted executions (morsel scans, the
+    per-partition predict dispatch): ``rows_in`` counts partition rows
+    scanned, ``rows_out`` the rows the operator's pipeline segment kept —
+    so ``selectivity`` is the partition's *observed* survival rate, the
+    quantity whose per-shard skew the data-induced rule and the morsel
+    scheduler both consume.
+    """
+
+    partition: int
+    fingerprint: str
+    calls: int = 0
+    rows_in: int = 0
+    rows_out: int = 0
+    seconds: float = 0.0
+
+    @property
+    def selectivity(self) -> Optional[float]:
+        if self.rows_in <= 0:
+            return None
+        return self.rows_out / self.rows_in
+
+
+@dataclass
 class OperatorProfile:
     """One plan operator's aggregated runtime observations.
 
@@ -401,6 +441,7 @@ class OperatorProfile:
     children: List["OperatorProfile"] = field(default_factory=list)
     conjuncts: List[ConjunctProfile] = field(default_factory=list)
     joins: List[JoinStepProfile] = field(default_factory=list)
+    partitions: List[PartitionProfile] = field(default_factory=list)
 
     @property
     def self_seconds(self) -> float:
@@ -432,6 +473,12 @@ class OperatorProfile:
             lines.append(f"{pad}  [join step {step.rows_left}x"
                          f"{step.rows_right}->{step.rows_out} rows "
                          f"{step.seconds * 1e3:.2f}ms] {step.detail}")
+        for part in self.partitions:
+            psel = f"{part.selectivity:.3f}" if part.selectivity is not None \
+                else "?"
+            lines.append(f"{pad}  [partition {part.partition} "
+                         f"{part.rows_in}->{part.rows_out} rows sel={psel} "
+                         f"{part.seconds * 1e3:.2f}ms]")
         for child in self.children:
             lines.append(child.pretty(indent + 1))
         return "\n".join(lines)
@@ -456,13 +503,14 @@ class PlanProfiler:
     resolved once, at :meth:`profile_tree` time.
     """
 
-    __slots__ = ("_lock", "_nodes", "_conjuncts", "_joins")
+    __slots__ = ("_lock", "_nodes", "_conjuncts", "_joins", "_partitions")
 
     def __init__(self):
         self._lock = threading.Lock()
         self._nodes: Dict[int, _NodeAccumulator] = {}
         self._conjuncts: Dict[Tuple[int, int], ConjunctProfile] = {}
         self._joins: Dict[Tuple[int, int], JoinStepProfile] = {}
+        self._partitions: Dict[Tuple[int, int], PartitionProfile] = {}
 
     # ------------------------------------------------------------------
     def record_operator(self, node: PlanNode, rows_out: int,
@@ -514,6 +562,28 @@ class PlanProfiler:
             entry.cross_rows += rows_left * rows_right
             entry.seconds += seconds
 
+    def record_partition(self, node: PlanNode, partition: int,
+                         rows_in: int, rows_out: int,
+                         seconds: float) -> None:
+        """Record one partition-restricted execution of ``node``'s segment.
+
+        Called per morsel (several morsels of one partition accumulate
+        into one entry) and per partition-specialized predict dispatch.
+        """
+        key = (id(node), partition)
+        with self._lock:
+            entry = self._partitions.get(key)
+            if entry is None:
+                entry = self._partitions[key] = PartitionProfile(
+                    partition=partition,
+                    fingerprint=partition_fingerprint(
+                        plan_fingerprint(node), partition),
+                )
+            entry.calls += 1
+            entry.rows_in += rows_in
+            entry.rows_out += rows_out
+            entry.seconds += seconds
+
     # ------------------------------------------------------------------
     def profile_tree(self, plan: PlanNode) -> OperatorProfile:
         """Assemble the profile tree for ``plan`` from the accumulators.
@@ -526,11 +596,14 @@ class PlanProfiler:
             nodes = dict(self._nodes)
             conjunct_parts = dict(self._conjuncts)
             join_parts = dict(self._joins)
-        return self._assemble(plan, nodes, conjunct_parts, join_parts)
+            partition_parts = dict(self._partitions)
+        return self._assemble(plan, nodes, conjunct_parts, join_parts,
+                              partition_parts)
 
-    def _assemble(self, node: PlanNode, nodes, conjunct_parts, join_parts
-                  ) -> OperatorProfile:
-        children = [self._assemble(child, nodes, conjunct_parts, join_parts)
+    def _assemble(self, node: PlanNode, nodes, conjunct_parts, join_parts,
+                  partition_parts) -> OperatorProfile:
+        children = [self._assemble(child, nodes, conjunct_parts, join_parts,
+                                   partition_parts)
                     for child in node.children()]
         acc = nodes.get(id(node))
         profile = OperatorProfile(
@@ -555,4 +628,8 @@ class PlanProfiler:
             profile.joins = [part for (node_id, _), part
                              in sorted(join_parts.items())
                              if node_id == id(node)]
+        parts = [part for (node_id, _), part
+                 in sorted(partition_parts.items()) if node_id == id(node)]
+        if parts:
+            profile.partitions = parts
         return profile

@@ -74,9 +74,11 @@ from repro.relational.logical import (
     PlanNode,
     Predict,
     PredictMode,
+    Project,
     Scan,
     Sort,
     transform_plan,
+    walk,
 )
 
 # Reordering must model a real win before touching a plan (hysteresis).
@@ -440,7 +442,8 @@ def _replace_region_leaves(node: PlanNode,
         new_inputs = [next(leaves) for _ in node.inputs]
         if all(new is old for new, old in zip(new_inputs, node.inputs)):
             return node
-        return MultiJoin(new_inputs, node.edges, node.order)
+        return MultiJoin(new_inputs, node.edges, node.order,
+                         order_insensitive=node.order_insensitive)
     return next(leaves)
 
 
@@ -466,16 +469,68 @@ def _reorder_joins(node: PlanNode, store: FeedbackStore, catalog,
                 info["joins_reordered"] = int(info["joins_reordered"]) + 1
                 order = None if desired == list(range(len(new_leaves))) \
                     else desired
-                return MultiJoin(new_leaves, list(region.edges), order)
+                return MultiJoin(new_leaves, list(region.edges), order,
+                                 order_insensitive=isinstance(node, MultiJoin)
+                                 and node.order_insensitive)
             if not leaves_changed:
                 return node
             if isinstance(node, MultiJoin):
-                return MultiJoin(new_leaves, node.edges, node.order)
+                return MultiJoin(new_leaves, node.edges, node.order,
+                                 order_insensitive=node.order_insensitive)
             return _replace_region_leaves(node, iter(new_leaves))
     children = node.children()
     if not children:
         return node
     new_children = [_reorder_joins(child, store, catalog, info)
+                    for child in children]
+    if all(new is old for new, old in zip(new_children, children)):
+        return node
+    return node.with_children(new_children)
+
+
+#: Aggregate functions whose result is invariant under any permutation of
+#: their input rows. ``sum``/``avg`` are excluded deliberately: float
+#: addition is non-associative, so a different accumulation order can
+#: differ in the last ULPs — and bit-for-bit means bit-for-bit.
+PERMUTATION_INVARIANT_AGGS = frozenset({"count", "min", "max"})
+
+
+def _annotate_order_insensitive(node: PlanNode,
+                                order_free: bool = False) -> PlanNode:
+    """Mark MultiJoins whose canonical output sort provably cannot matter.
+
+    ``order_free`` is True when every operator between here and the query
+    result includes an ``Aggregate`` whose functions are all
+    permutation-invariant (:data:`PERMUTATION_INVARIANT_AGGS`), reached
+    through row-order-preserving operators only (``Filter``/``Project``)
+    — grouped output is keyed (sorted by group value), so row order below
+    such an aggregate is unobservable. A marked ``MultiJoin`` skips its
+    canonical output sort; unmarked plans keep the sorted path, which is
+    the differential oracle for this rewrite. Identity-preserving when
+    nothing changes, like every reopt pass.
+    """
+    if isinstance(node, Aggregate):
+        child_free = all(spec.func in PERMUTATION_INVARIANT_AGGS
+                         for spec in node.aggregates)
+    elif isinstance(node, (Filter, Project)):
+        child_free = order_free
+    else:
+        # Order-sensitive consumers (Sort re-sorts but Limit/Join/Predict
+        # observe row order; being conservative costs only the sort).
+        child_free = False
+    if isinstance(node, MultiJoin):
+        inputs = [_annotate_order_insensitive(child)
+                  for child in node.inputs]
+        changed = any(new is not old
+                      for new, old in zip(inputs, node.inputs))
+        if order_free != node.order_insensitive or changed:
+            return MultiJoin(inputs, node.edges, node.order,
+                             order_insensitive=order_free)
+        return node
+    children = node.children()
+    if not children:
+        return node
+    new_children = [_annotate_order_insensitive(child, child_free)
                     for child in children]
     if all(new is old for new, old in zip(new_children, children)):
         return node
@@ -504,9 +559,14 @@ def apply_feedback(plan: PlanNode, store: FeedbackStore,
         "filters_reordered": 0,
         "joins_build_left": 0,
         "joins_reordered": 0,
+        "joins_sort_skipped": 0,
         "predicts_batch_sized": 0,
     }
     plan_joins = _reorder_joins(plan, store, catalog, info)
+    plan_joins = _annotate_order_insensitive(plan_joins)
+    info["joins_sort_skipped"] = sum(
+        1 for node in walk(plan_joins)
+        if isinstance(node, MultiJoin) and node.order_insensitive)
 
     def rewrite(node: PlanNode) -> Optional[PlanNode]:
         if isinstance(node, Filter):

@@ -236,11 +236,17 @@ class QueryExecutor:
 
     def __init__(self, catalog: Catalog, runtime: Optional[PredictRuntime] = None,
                  dop: int = 1, compile_expressions: bool = True,
-                 profiler=None, deadline=None, faults=None, span=None):
+                 profiler=None, deadline=None, faults=None, span=None,
+                 feedback=None, metrics=None):
         self.catalog = catalog
         self.runtime = runtime or PredictRuntime()
         self.dop = dop
         self.compile_expressions = compile_expressions
+        # Optional FeedbackStore / MetricsRegistry: drive skew-aware
+        # morsel scheduling, per-partition observations and the
+        # partition counters (partitions_skipped, morsels_executed).
+        self.feedback = feedback
+        self.metrics = metrics
         # Aggregated over every executor this query fans out to
         # (chunk-parallel, per-partition); read by RunStats.
         self.exec_stats = ExecStats()
@@ -276,10 +282,32 @@ class QueryExecutor:
         partitioned = self._partitioned_predict(plan)
         skip = plan_partition_restrictions(plan, self.catalog)
         if partitioned is None:
+            if self._morsel_target(plan) is not None:
+                # Morsel-driven parallel scan over the partitioned fact
+                # table: partition-aligned morsels on a work-stealing
+                # pool, zone-map skipping applied at morsel generation
+                # (it subsumes the plan-time skip dict above).
+                from repro.relational.morsel import MorselExecutor
+                return MorselExecutor(
+                    self.catalog, self.dop, self.runtime,
+                    compile_expressions=self.compile_expressions,
+                    exec_stats=self.exec_stats,
+                    profiler=self.profiler,
+                    deadline=self.deadline,
+                    faults=self.faults,
+                    span=self.span,
+                    feedback=self.feedback,
+                    metrics=self.metrics,
+                ).execute(plan)
             if skip:
                 # Data skipping (paper §4.2): scan only the surviving
                 # partitions. Runs serially — the skip already removed the
                 # bulk of the work chunk-parallelism would have split.
+                if self.metrics is not None:
+                    dropped = sum(
+                        self.catalog.table(name).data.num_partitions
+                        - len(kept) for name, kept in skip.items())
+                    self.metrics.counter("partitions_skipped").inc(dropped)
                 return self._make_executor(dict(skip)).execute(plan)
             return ParallelExecutor(
                 self.catalog, self.dop, self.runtime,
@@ -291,6 +319,26 @@ class QueryExecutor:
                 span=self.span,
             ).execute(plan)
         return self._execute_per_partition(plan, partitioned, skip)
+
+    def _morsel_target(self, plan: PlanNode) -> Optional[Scan]:
+        """The scan the morsel executor would drive, or None.
+
+        Morsel execution engages when parallelism was requested
+        (``dop > 1``) and the plan's largest scanned table is genuinely
+        partitioned — otherwise the row-chunk ``ParallelExecutor`` or
+        the serial skip path is the better (and historical) choice. The
+        single-scan eligibility check lives in the morsel executor
+        itself, which degrades to serial-with-skipping when it fails.
+        """
+        if self.dop <= 1:
+            return None
+        from repro.relational.parallel import largest_scan, split_serial_tail
+        _, body = split_serial_tail(plan)
+        target = largest_scan(body, self.catalog)
+        if target is None:
+            return None
+        entry = self.catalog.table(target.table_name)
+        return target if entry.data.num_partitions > 1 else None
 
     # ------------------------------------------------------------------
     def _partitioned_predict(self, plan: PlanNode) -> Optional[Predict]:
@@ -310,12 +358,36 @@ class QueryExecutor:
             )
         surviving = (skip or {}).get(table_name,
                                      list(range(entry.data.num_partitions)))
+        if self.metrics is not None and skip:
+            self.metrics.counter("partitions_skipped").inc(
+                entry.data.num_partitions - len(surviving))
         tail, body = split_serial_tail(plan)
+        scan = next((node for node in walk(body) if isinstance(node, Scan)
+                     and node.table_name == table_name), None)
         pieces: List[Table] = []
         for index in surviving:
             self.runtime.active_partition = index
             executor = self._make_executor({table_name: index})
-            pieces.append(executor.execute(body))
+            started = time.perf_counter()
+            piece = executor.execute(body)
+            elapsed = time.perf_counter() - started
+            pieces.append(piece)
+            # Per-partition feedback: rows scanned vs rows the segment
+            # kept, under the scan's partition fingerprint — the same
+            # keys the morsel scheduler and data-induced rule read.
+            if scan is not None and (self.profiler is not None
+                                     or self.feedback is not None):
+                rows_in = entry.data.partitions[index].num_rows
+                if self.profiler is not None:
+                    # Reaches the feedback store when the session folds
+                    # the profile tree in (record_profile).
+                    self.profiler.record_partition(
+                        scan, index, rows_in, piece.num_rows, elapsed)
+                else:
+                    from repro.adaptive.profile import plan_fingerprint
+                    self.feedback.record_partition(
+                        plan_fingerprint(scan), index, rows_in,
+                        piece.num_rows, elapsed)
         self.runtime.active_partition = None
         if not pieces:
             # Every partition was skipped; produce an empty result with the
@@ -327,7 +399,9 @@ class QueryExecutor:
         result = concat_tables(pieces)
         from repro.relational.parallel import apply_tail
         for op in reversed(tail):
-            result = apply_tail(op, result, self.catalog, self.runtime)
+            result = apply_tail(op, result, self.catalog, self.runtime,
+                                compile_expressions=self.compile_expressions,
+                                exec_stats=self.exec_stats)
         return result
 
     def _source_table(self, predict: Predict) -> str:

@@ -367,6 +367,24 @@ class RavenSession:
                                partition_column=partition_column,
                                replace=replace)
 
+    def spill_table(self, name: str, directory: Union[str, Path],
+                    budget_bytes: Optional[int] = None) -> int:
+        """Spill a registered table's partitions to memory-mapped files.
+
+        Largest partitions spill first until resident bytes fit
+        ``budget_bytes`` (everything spills with no budget); queries keep
+        producing bit-for-bit identical results over the read-only
+        memmap views. Bytes moved out of memory accumulate in the
+        ``spill_bytes`` metric. Spill writes go through the session's
+        fault injector (site ``spill.write``), like every other
+        persistence path.
+        """
+        entry = self.catalog.table(name)
+        moved = entry.data.spill(directory, budget_bytes=budget_bytes,
+                                 faults=self.faults)
+        self.telemetry.metrics.counter("spill_bytes").inc(moved)
+        return moved
+
     def register_model(self, name: str,
                        model: Union[Graph, Pipeline, str],
                        replace: bool = False, **metadata) -> Graph:
@@ -480,6 +498,16 @@ class RavenSession:
                 stats = None
             if stats is not None:
                 self.catalog.augment_stats(name, stats)
+            try:
+                partition_stats = [TableStats.from_dict(part) for part
+                                   in payload.get("partitions") or []]
+            except (KeyError, TypeError, ValueError):
+                partition_stats = []
+            if partition_stats:
+                # Matching digest means matching content, and
+                # partitioning is a pure function of content — the
+                # layout check inside is just belt and braces.
+                self.catalog.augment_partition_stats(name, partition_stats)
         with self._warm_lock:
             self._warm_stats.pop(name, None)
 
@@ -1227,7 +1255,9 @@ class RavenSession:
         executor = QueryExecutor(self.catalog, runtime, dop=self.dop,
                                  compile_expressions=self.compile_expressions,
                                  profiler=profiler, deadline=deadline,
-                                 faults=self.faults, span=span)
+                                 faults=self.faults, span=span,
+                                 feedback=self.feedback,
+                                 metrics=self.telemetry.metrics)
         started = time.perf_counter()
         try:
             result = executor.execute(plan)

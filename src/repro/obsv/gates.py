@@ -98,6 +98,15 @@ DEFAULT_GATES: Sequence[Gate] = (
     # ceiling.
     Gate("telemetry", "disabled_overhead", LOWER_IS_BETTER, tolerance=0.05),
     Gate("telemetry", "tracing_overhead", LOWER_IS_BETTER, tolerance=0.10),
+    # Partition-native execution ratios. The skipping and morsel
+    # speedups divide warmed multi-ms scans and were observed swinging
+    # ~15% around their medians on a single-cpu runner, so both get
+    # 25%; the spill ratio compares two page-cache-warm scans of the
+    # same bytes and hovers at ~1.0x, but memmap reads ride kernel
+    # readahead behavior, so it gets the wider small-denominator band.
+    Gate("partitions", "skipping_speedup", tolerance=0.25),
+    Gate("partitions", "morsel_speedup", tolerance=0.25),
+    Gate("partitions", "spill_slowdown", LOWER_IS_BETTER, tolerance=0.30),
 )
 
 

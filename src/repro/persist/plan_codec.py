@@ -181,7 +181,8 @@ def _node_to_dict(node: PlanNode) -> Dict[str, Any]:
                            "left_key": edge.left_key,
                            "right_key": edge.right_key}
                           for edge in node.edges],
-                "order": None if node.order is None else list(node.order)}
+                "order": None if node.order is None else list(node.order),
+                "order_insensitive": node.order_insensitive}
     if isinstance(node, Aggregate):
         return {"t": "aggregate", "child": _node_to_dict(node.child),
                 "group_by": list(node.group_by),
@@ -241,7 +242,10 @@ def _node_from_dict(payload: Dict[str, Any]) -> PlanNode:
                  for edge in payload["edges"]]
         return MultiJoin([_node_from_dict(child)
                           for child in payload["inputs"]],
-                         edges, payload["order"])
+                         edges, payload["order"],
+                         # Absent in pre-annotation snapshots.
+                         order_insensitive=payload.get(
+                             "order_insensitive", False))
     if tag == "aggregate":
         return Aggregate(_node_from_dict(payload["child"]),
                          payload["group_by"],

@@ -194,10 +194,18 @@ def build_snapshot(session) -> Snapshot:
     for name in catalog.table_names:
         try:
             entry = catalog.table(name)
-            snapshot.table_stats[name] = {
+            payload = {
                 "digest": digests.table(name),
                 "stats": entry.stats.to_dict(),
             }
+            if entry.data.num_partitions > 1:
+                # Per-partition zone maps ride along so a warm-started
+                # shard can skip partitions (and cost morsels) before it
+                # has scanned anything. Old snapshots simply lack the
+                # key; old readers ignore it.
+                payload["partitions"] = [part.stats.to_dict()
+                                         for part in entry.data.partitions]
+            snapshot.table_stats[name] = payload
         except RavenError:
             continue  # dropped concurrently: skip, don't fail the export
     if getattr(session, "plan_cache", None) is None:

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import threading
 import time
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -62,6 +63,28 @@ from repro.storage.table import Table, TableView
 
 # predict_executor(node, input_table) -> Table of the node's output columns.
 PredictExecutor = Callable[[Predict, Table], Table]
+
+
+@dataclass(frozen=True, order=True)
+class Morsel:
+    """One partition-aligned unit of scan work.
+
+    A fourth ``scan_restrictions`` kind (after partition index, row range
+    and partition-index list): restricts the scan to rows
+    ``[start, stop)`` *of one partition*. The morsel-driven executor
+    (:mod:`repro.relational.morsel`) fans a query out over morsels and
+    merges results in ``(partition, start)`` order — exactly the row
+    order of the serial unrestricted scan, which is what keeps parallel
+    execution bit-for-bit identical.
+    """
+
+    partition: int
+    start: int
+    stop: int
+
+    @property
+    def num_rows(self) -> int:
+        return self.stop - self.start
 
 
 class ExecStats:
@@ -247,7 +270,10 @@ class Executor:
     def _exec_scan(self, node: Scan) -> Table:
         entry = self.catalog.table(node.table_name)
         restriction = self.scan_restrictions.get(node.table_name)
-        if isinstance(restriction, int):
+        if isinstance(restriction, Morsel):
+            table = entry.data.partitions[restriction.partition].table \
+                .slice(restriction.start, restriction.stop)
+        elif isinstance(restriction, int):
             table = entry.data.partitions[restriction].table
         elif isinstance(restriction, tuple):
             start, stop = restriction
@@ -507,13 +533,16 @@ class Executor:
         # Canonical order: original input 0 is the primary sort key.
         # Index tuples are unique (each output row is a distinct
         # combination of input rows), so this is a total order and the
-        # result is independent of the execution sequence.
+        # result is independent of the execution sequence. When the
+        # feedback pass proved the consumer permutation-invariant
+        # (order_insensitive), the sort is pure overhead and rows pass
+        # through in whatever order the join steps produced them.
         count = len(matched[first])
-        if count:
+        if count and not node.order_insensitive:
             order = np.lexsort([matched[index]
                                 for index in reversed(range(len(views)))])
         else:
-            order = np.arange(0, dtype=np.int64)
+            order = np.arange(count, dtype=np.int64)
         columns: List[Tuple[str, Column]] = []
         for index, view in enumerate(views):
             columns += _gather_columns(view, matched[index][order])

@@ -243,10 +243,18 @@ class MultiJoin(PlanNode):
     order) must be connected by at least one edge to the inputs before it
     — the join-ordering pass only extracts regions with this property, so
     execution never needs a cross product.
+
+    ``order_insensitive`` — likewise a pure execution annotation — marks
+    the output order as irrelevant to the query result (the consumer is a
+    permutation-invariant aggregate), letting the executor skip the
+    canonical output sort. Only the feedback pass sets it, and only under
+    that proof; plans without it keep the sorted path, which doubles as
+    the differential oracle for the skip.
     """
 
     def __init__(self, inputs: Sequence[PlanNode], edges: Sequence[JoinEdge],
-                 order: Optional[Sequence[int]] = None):
+                 order: Optional[Sequence[int]] = None,
+                 order_insensitive: bool = False):
         if len(inputs) < 2:
             raise PlanError("MultiJoin needs at least two inputs")
         for edge in edges:
@@ -259,6 +267,7 @@ class MultiJoin(PlanNode):
         self.inputs = list(inputs)
         self.edges = list(edges)
         self.order = list(order) if order is not None else None
+        self.order_insensitive = bool(order_insensitive)
         # Enforce the connected-prefix invariant for both the original
         # order and any annotated sequence, so every consumer (executor,
         # SQL generation) can rely on it instead of failing downstream.
@@ -287,7 +296,8 @@ class MultiJoin(PlanNode):
     def with_children(self, children):
         if len(children) != len(self.inputs):
             raise PlanError("MultiJoin child count mismatch")
-        return MultiJoin(children, self.edges, self.order)
+        return MultiJoin(children, self.edges, self.order,
+                         order_insensitive=self.order_insensitive)
 
     def sequence(self) -> List[int]:
         """The execution sequence (annotated order, or original order)."""

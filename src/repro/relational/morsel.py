@@ -1,0 +1,281 @@
+"""Morsel-driven parallel scans over partitioned tables.
+
+The monolithic scan path treats a partitioned table as one concatenated
+array. Here the scan side of a plan is instead driven by **morsels** —
+partition-aligned row ranges (:class:`~repro.relational.executor.Morsel`)
+— pulled by a worker pool from one shared queue, the classic
+morsel-driven scheme: idle workers steal the next morsel, so a skewed
+partition never strands the pool behind one big static chunk.
+
+Three properties the rest of the system relies on:
+
+* **Zone-map skipping at runtime.** Before morsels are generated, each
+  partition's statistics are checked against the plan's filter
+  constraints (the same :mod:`repro.relational.skipping` analysis the
+  serial path uses at plan time); partitions proven empty produce no
+  morsels at all. Skipped partitions are counted in the
+  ``partitions_skipped`` metric, executed morsels in
+  ``morsels_executed``.
+* **Bit-for-bit determinism.** Morsel results merge in ``(partition,
+  start)`` order — exactly the row order of the serial scan over
+  ``PartitionedTable.to_table()`` — before the serial tail runs, so the
+  output is identical to serial execution no matter which worker ran
+  what when.
+* **Skew-aware scheduling.** When a feedback store has per-partition
+  observations (seconds-per-row under the scan's partition
+  fingerprint), morsels are ordered longest-estimated-first (LPT);
+  cold, we fall back to row counts. Each finished morsel records its
+  observation back, so skew learned on one query schedules the next.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro.relational.executor import ExecStats, Executor, Morsel, \
+    PredictExecutor
+from repro.relational.logical import PlanNode, Scan, walk
+from repro.relational.parallel import (
+    apply_tail,
+    chunk_ranges,
+    largest_scan,
+    split_serial_tail,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table, concat_tables
+
+#: Floor on morsel size: below this, per-morsel dispatch overhead (an
+#: Executor walk + numpy call fixed costs) dominates the vectorized work.
+MIN_MORSEL_ROWS = 8_192
+
+#: Target number of morsels per worker. >1 so the pool can rebalance when
+#: morsel costs are skewed; small enough to keep dispatch overhead low.
+MORSELS_PER_WORKER = 4
+
+
+def plan_morsels(partition_rows: List[Tuple[int, int]], dop: int,
+                 morsel_rows: Optional[int] = None) -> List[Morsel]:
+    """Cut surviving partitions into partition-aligned morsels.
+
+    ``partition_rows`` is ``[(partition_index, num_rows), ...]``. The
+    morsel size targets :data:`MORSELS_PER_WORKER` morsels per worker
+    over the total surviving rows, floored at :data:`MIN_MORSEL_ROWS`;
+    morsels never span partitions (a morsel must have one zone map, one
+    feedback fingerprint and one specialized model).
+    """
+    total = sum(rows for _, rows in partition_rows)
+    if morsel_rows is None:
+        want = max(1, dop * MORSELS_PER_WORKER)
+        morsel_rows = max(MIN_MORSEL_ROWS, -(-total // want))
+    morsels: List[Morsel] = []
+    for index, rows in partition_rows:
+        if rows == 0:
+            continue
+        for start, stop in chunk_ranges(rows, -(-rows // morsel_rows)):
+            morsels.append(Morsel(index, start, stop))
+    return morsels
+
+
+class MorselExecutor:
+    """Executes a plan as a morsel-parallel scan over one partitioned table.
+
+    Mirrors :class:`~repro.relational.parallel.ParallelExecutor`'s
+    correctness requirement — the morselized table must be scanned
+    exactly once in the body (star/snowflake queries re-read dimension
+    tables per morsel, a broadcast join) — and falls back to serial
+    execution when the plan does not qualify.
+    """
+
+    def __init__(self, catalog: Catalog, dop: int = 1,
+                 predict_executor: Optional[PredictExecutor] = None,
+                 compile_expressions: bool = True,
+                 exec_stats: Optional[ExecStats] = None,
+                 profiler=None, deadline=None, faults=None, span=None,
+                 feedback=None, metrics=None,
+                 morsel_rows: Optional[int] = None):
+        if dop < 1:
+            raise ValueError("dop must be >= 1")
+        self.catalog = catalog
+        self.dop = dop
+        self.predict_executor = predict_executor
+        self.compile_expressions = compile_expressions
+        self.exec_stats = exec_stats
+        self.profiler = profiler
+        self.deadline = deadline
+        self.faults = faults
+        self.span = span
+        # Optional repro.adaptive.feedback.FeedbackStore: read for
+        # skew-aware morsel ordering, written with per-morsel
+        # (rows_in, rows_out, seconds) observations.
+        self.feedback = feedback
+        # Optional telemetry MetricsRegistry for the partition counters.
+        self.metrics = metrics
+        self.morsel_rows = morsel_rows
+
+    # ------------------------------------------------------------------
+    def _make_executor(self, scan_restrictions=None) -> Executor:
+        return Executor(self.catalog, self.predict_executor,
+                        scan_restrictions=scan_restrictions,
+                        compile_expressions=self.compile_expressions,
+                        exec_stats=self.exec_stats,
+                        profiler=self.profiler,
+                        deadline=self.deadline,
+                        faults=self.faults,
+                        span=self.span)
+
+    def execute(self, plan: PlanNode) -> Table:
+        from repro.relational.skipping import plan_partition_restrictions
+
+        tail, body = split_serial_tail(plan)
+        target = largest_scan(body, self.catalog)
+        scan_count = sum(1 for node in walk(body)
+                         if isinstance(node, Scan)
+                         and target is not None
+                         and node.table_name == target.table_name)
+        entry = (self.catalog.table(target.table_name)
+                 if target is not None else None)
+        if entry is None or scan_count != 1 or entry.data.num_partitions <= 1:
+            # Not morselizable; the plan-time skip analysis still applies.
+            skip = plan_partition_restrictions(plan, self.catalog)
+            return self._make_executor(dict(skip) if skip else None) \
+                .execute(plan)
+
+        # Runtime zone-map skipping: partitions whose statistics prove
+        # the body's filters empty generate no morsels.
+        skip = plan_partition_restrictions(body, self.catalog)
+        surviving = skip.get(target.table_name,
+                             list(range(entry.data.num_partitions)))
+        skipped = entry.data.num_partitions - len(surviving)
+        if self.metrics is not None:
+            self.metrics.counter("partitions_skipped").inc(skipped)
+        if self.span is not None and skipped:
+            self.span.set(partitions_skipped=skipped)
+
+        other_skip = {name: kept for name, kept in skip.items()
+                      if name != target.table_name}
+        if not surviving:
+            # Every partition proven empty: one serial run over an empty
+            # slice produces the correctly-typed empty result.
+            restrictions = dict(other_skip)
+            restrictions[target.table_name] = []
+            return self._run_serial_tail(
+                self._make_executor(restrictions).execute(body), tail)
+
+        morsels = plan_morsels(
+            [(i, entry.data.partitions[i].num_rows) for i in surviving],
+            self.dop, self.morsel_rows)
+        pieces = self._run_morsels(morsels, body, target, other_skip)
+        result = concat_tables([pieces[m] for m in sorted(pieces)]) \
+            if pieces else self._make_executor(
+                {**other_skip, target.table_name: []}).execute(body)
+        return self._run_serial_tail(result, tail)
+
+    # ------------------------------------------------------------------
+    def _run_morsels(self, morsels: List[Morsel], body: PlanNode,
+                     target: Scan, other_skip: Dict[str, List[int]]
+                     ) -> Dict[Morsel, Table]:
+        queue = deque(self._schedule(morsels, target))
+        results: Dict[Morsel, Table] = {}
+        lock = threading.Lock()
+        errors: List[BaseException] = []
+
+        def worker() -> None:
+            while True:
+                with lock:
+                    if errors or not queue:
+                        return
+                    morsel = queue.popleft()
+                try:
+                    piece = self._run_one(morsel, body, target, other_skip)
+                except BaseException as exc:  # propagate after drain
+                    with lock:
+                        errors.append(exc)
+                    return
+                with lock:
+                    results[morsel] = piece
+
+        workers = min(self.dop, len(queue)) or 1
+        if workers == 1:
+            worker()
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(worker) for _ in range(workers)]
+                for future in futures:
+                    future.result()
+        if errors:
+            raise errors[0]
+        return results
+
+    def _run_one(self, morsel: Morsel, body: PlanNode, target: Scan,
+                 other_skip: Dict[str, List[int]]) -> Table:
+        restrictions = dict(other_skip)
+        restrictions[target.table_name] = morsel
+        span = None
+        if self.span is not None:
+            span = self.span.child(
+                "scan.morsel", category="scan",
+                table=target.table_name, partition=morsel.partition,
+                label=self.catalog.table(target.table_name)
+                .data.partitions[morsel.partition].label,
+                start=morsel.start, rows=morsel.num_rows)
+        started = time.perf_counter()
+        try:
+            piece = self._make_executor(restrictions).execute(body)
+        except BaseException:
+            if span is not None:
+                span.finish(status="error")
+            raise
+        elapsed = time.perf_counter() - started
+        if span is not None:
+            span.finish(rows_out=piece.num_rows)
+        if self.metrics is not None:
+            self.metrics.counter("morsels_executed").inc()
+        if self.profiler is not None:
+            # Reaches the feedback store when the session folds the
+            # profile tree in (record_profile); recording directly too
+            # would double-count the observation.
+            self.profiler.record_partition(
+                target, morsel.partition, morsel.num_rows,
+                piece.num_rows, elapsed)
+        elif self.feedback is not None:
+            self.feedback.record_partition(
+                self._scan_fingerprint(target), morsel.partition,
+                morsel.num_rows, piece.num_rows, elapsed)
+        return piece
+
+    # ------------------------------------------------------------------
+    def _schedule(self, morsels: List[Morsel], target: Scan) -> List[Morsel]:
+        """LPT order: longest estimated morsel first.
+
+        With per-partition feedback the estimate is observed
+        seconds-per-row × morsel rows; cold it degrades to row count
+        (every partition assumed equally expensive per row). Ties break
+        on canonical order, keeping the schedule deterministic.
+        """
+        costs = {m: float(m.num_rows) for m in morsels}
+        if self.feedback is not None:
+            fingerprint = self._scan_fingerprint(target)
+            for morsel in morsels:
+                per_row = self.feedback.partition_seconds_per_row(
+                    fingerprint, morsel.partition)
+                if per_row is not None:
+                    costs[morsel] = per_row * morsel.num_rows
+        return sorted(morsels, key=lambda m: (-costs[m], m))
+
+    def _scan_fingerprint(self, target: Scan) -> str:
+        # Lazy import: repro.adaptive imports the relational layer.
+        from repro.adaptive.profile import plan_fingerprint
+
+        return plan_fingerprint(target)
+
+    def _run_serial_tail(self, result: Table, tail: List[PlanNode]) -> Table:
+        for op in reversed(tail):
+            result = apply_tail(op, result, self.catalog,
+                                self.predict_executor,
+                                compile_expressions=self.compile_expressions,
+                                exec_stats=self.exec_stats)
+        return result

@@ -21,6 +21,7 @@ from repro.relational.logical import (
     Aggregate,
     Limit,
     PlanNode,
+    Project,
     Scan,
     Sort,
     walk,
@@ -34,12 +35,22 @@ def split_serial_tail(plan: PlanNode) -> Tuple[List[PlanNode], PlanNode]:
 
     Tail ops are returned outermost-first; the body is chunk-safe (its output
     rows are a disjoint union over chunks).
+
+    A root ``Project`` peels too: it is row-wise (safe either side of the
+    split), but leaving it in the body would hide an ``Aggregate`` sitting
+    right below it — ``SELECT AVG(x) AS m ...`` plans root at
+    ``Project(Aggregate(...))``, and a per-chunk aggregate under a
+    chunk-blind tail would emit one row per chunk.
     """
     tail: List[PlanNode] = []
     current = plan
-    while isinstance(current, (Aggregate, Sort, Limit)):
+    while isinstance(current, (Project, Aggregate, Sort, Limit)):
         tail.append(current)
         current = current.children()[0]
+    # Row-wise Projects peeled below the last genuine breaker can stay in
+    # the body (cheaper: they run inside the parallel section).
+    while tail and isinstance(tail[-1], Project):
+        current = tail.pop()
     return tail, current
 
 
@@ -143,13 +154,22 @@ class ParallelExecutor:
 
         # Serial tail over the concatenated body output.
         for op in reversed(tail):
-            result = apply_tail(op, result, self.catalog, self.predict_executor)
+            result = apply_tail(op, result, self.catalog, self.predict_executor,
+                                compile_expressions=self.compile_expressions,
+                                exec_stats=self.exec_stats)
         return result
 
 
 def apply_tail(op: PlanNode, table: Table, catalog: Catalog,
-               predict_executor: Optional[PredictExecutor]) -> Table:
-    """Run one serial-tail operator over a materialized table."""
+               predict_executor: Optional[PredictExecutor],
+               compile_expressions: bool = True,
+               exec_stats: Optional[ExecStats] = None) -> Table:
+    """Run one serial-tail operator over a materialized table.
+
+    ``compile_expressions`` must mirror the caller's engine choice: a
+    tail ``Project`` evaluates scalar expressions, and an interpreted-
+    oracle session must stay interpreted end to end.
+    """
     from repro.relational.logical import PlanNode as _PlanNode
 
     class _Materialized(_PlanNode):
@@ -164,6 +184,8 @@ def apply_tail(op: PlanNode, table: Table, catalog: Catalog,
 
     stub = _Materialized()
     rebound = op.with_children([stub])
-    executor = Executor(catalog, predict_executor)
+    executor = Executor(catalog, predict_executor,
+                        compile_expressions=compile_expressions,
+                        exec_stats=exec_stats)
     executor._exec__materialized = lambda node: table  # type: ignore[attr-defined]
     return executor.execute(rebound)

@@ -92,6 +92,11 @@ def _provably_empty(parsed, alias: str, stats: TableStats) -> bool:
         if column_stats is None:
             continue
         if isinstance(constraint, Interval):
+            if column_stats.row_count and column_stats.null_count is not None \
+                    and column_stats.null_count == column_stats.row_count:
+                # Every value is NaN, and NaN satisfies no interval
+                # (comparisons with NaN are always false).
+                return True
             observed = column_stats.interval()
             if observed is None:
                 continue

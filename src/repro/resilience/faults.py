@@ -28,6 +28,9 @@ Registered sites:
 ``telemetry.dump``         trace-ring / slow-query-log / metrics disk dumps
                            (``torn`` = crash mid-dump; serving continues and
                            the previous dump stays intact)
+``spill.write``            memory-mapped column spill files
+                           (``torn`` = crash mid-spill leaving a partial
+                           temp file; the in-memory column stays intact)
 ========================  ====================================================
 
 Scheduling is deterministic two ways: ``on_hits`` fires on exact 1-based
@@ -55,6 +58,7 @@ SITE_BATCHER_EXECUTE = "batcher.execute"
 SITE_SNAPSHOT_WRITE = "snapshot.write"
 SITE_LEDGER_APPEND = "ledger.append"
 SITE_TELEMETRY_DUMP = "telemetry.dump"
+SITE_SPILL_WRITE = "spill.write"
 
 #: Every injection point registered in the serving stack. ``inject``
 #: validates against this set so a typo'd site name fails loudly instead
@@ -68,6 +72,7 @@ SITES = frozenset({
     SITE_SNAPSHOT_WRITE,
     SITE_LEDGER_APPEND,
     SITE_TELEMETRY_DUMP,
+    SITE_SPILL_WRITE,
 })
 
 MODE_ERROR = "error"

@@ -1,0 +1,139 @@
+"""Shard-key routing over a fleet of per-shard sessions.
+
+A deployment that outgrows one session partitions its traffic by a
+shard key (tenant, region, partition value) and runs one
+``RavenSession`` per shard. :class:`ShardRouter` is the front door:
+it maps keys to sessions deterministically, fans a mixed batch out to
+the owning shards' ``serve`` loops, and keeps results in submission
+order.
+
+Each shard session carries a **stable persistence origin**
+(``shard-<key>``), so shard snapshots written across restarts keep
+their identity: the fleet-union merge in
+:class:`~repro.persist.store.SnapshotStore` deduplicates by origin,
+and a shard restored from its own snapshot continues the same
+feedback lineage instead of appearing as a brand-new worker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, \
+    Tuple, Union
+
+from repro.errors import RavenError
+from repro.storage.table import Table
+
+
+def shard_origin(key: object) -> str:
+    """The persistence origin name for one shard (``shard-<key>``)."""
+    return f"shard-{key}"
+
+
+class ShardRouter:
+    """Routes queries to per-shard sessions by shard key.
+
+    ``shards`` maps shard keys to their sessions. Keys not present in
+    the map route by stable hash over the sorted key list (rendezvous
+    with the textual key — deterministic across processes, unlike
+    ``hash()``), so value-sharded traffic with an open key domain still
+    lands consistently.
+    """
+
+    def __init__(self, shards: Mapping[object, "RavenSession"]):
+        if not shards:
+            raise RavenError("a shard router needs at least one shard")
+        self.shards: Dict[object, "RavenSession"] = dict(shards)
+        self._ordered = sorted(self.shards, key=str)
+        for key, session in self.shards.items():
+            session._persist_origin = shard_origin(key)
+
+    @classmethod
+    def build(cls, keys: Iterable[object],
+              factory: Callable[[object], "RavenSession"]) -> "ShardRouter":
+        """Construct one session per key via ``factory(key)``."""
+        return cls({key: factory(key) for key in keys})
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, key: object) -> object:
+        """The shard key owning ``key`` (exact match, else stable hash)."""
+        if key in self.shards:
+            return key
+        digest = hashlib.sha256(str(key).encode("utf-8")).digest()
+        return self._ordered[int.from_bytes(digest[:8], "big")
+                             % len(self._ordered)]
+
+    def session(self, key: object) -> "RavenSession":
+        """The session owning ``key``."""
+        return self.shards[self.route(key)]
+
+    def sql(self, key: object, query: str, **kwargs) -> Table:
+        """Run one query on the shard owning ``key``."""
+        return self.session(key).sql(query, **kwargs)
+
+    def serve(self, items: Iterable[Tuple[object, str]], workers: int = 4,
+              **kwargs) -> List[Table]:
+        """Fan ``(shard_key, query)`` pairs out to their shards.
+
+        Queries group by owning shard and run through each shard
+        session's :meth:`~repro.core.session.RavenSession.serve` (so
+        per-shard plan caches, backpressure and retry policies all
+        apply); shards execute concurrently and results come back in
+        submission order. ``workers`` bounds the per-shard serve pool;
+        ``kwargs`` pass through to each shard's ``serve``.
+        """
+        items = list(items)
+        by_shard: Dict[object, List[int]] = {}
+        for index, (key, _) in enumerate(items):
+            by_shard.setdefault(self.route(key), []).append(index)
+        results: List[Optional[Table]] = [None] * len(items)
+
+        def run_shard(owner: object, indexes: List[int]) -> None:
+            tables = self.shards[owner].serve(
+                [items[i][1] for i in indexes], workers=workers, **kwargs)
+            for i, table in zip(indexes, tables):
+                results[i] = table
+
+        if len(by_shard) <= 1:
+            for owner, indexes in by_shard.items():
+                run_shard(owner, indexes)
+        else:
+            with ThreadPoolExecutor(max_workers=len(by_shard)) as pool:
+                futures = [pool.submit(run_shard, owner, indexes)
+                           for owner, indexes in by_shard.items()]
+                for future in futures:
+                    future.result()
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Fleet persistence: one snapshot per shard, named by origin
+    # ------------------------------------------------------------------
+    def snapshot_name(self, key: object) -> str:
+        return f"{shard_origin(key)}.json"
+
+    def save_snapshots(self, directory: Union[str, Path]) -> List[Path]:
+        """Write every shard's snapshot as ``<dir>/shard-<key>.json``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        return [self.shards[key].save_snapshot(
+                    directory / self.snapshot_name(key))
+                for key in self._ordered]
+
+    def load_snapshots(self, directory: Union[str, Path]
+                       ) -> Dict[object, Dict[str, int]]:
+        """Warm-start each shard from its own origin-named snapshot.
+
+        Missing files are skipped (a shard added since the last save
+        simply starts cold); returns each loaded shard's summary.
+        """
+        directory = Path(directory)
+        summaries: Dict[object, Dict[str, int]] = {}
+        for key in self._ordered:
+            path = directory / self.snapshot_name(key)
+            if path.exists():
+                summaries[key] = self.shards[key].load_snapshot(path)
+        return summaries

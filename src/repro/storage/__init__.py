@@ -7,6 +7,7 @@ statistics and optional horizontal partitioning.
 
 from repro.storage.catalog import Catalog, ModelEntry, TableEntry
 from repro.storage.column import Column, DataType, concat_columns
+from repro.storage.mmap_column import MmapColumn, spill_table
 from repro.storage.partition import Partition, PartitionedTable
 from repro.storage.statistics import ColumnStats, TableStats
 from repro.storage.table import Schema, Table, TableView, concat_tables
@@ -16,6 +17,7 @@ __all__ = [
     "Column",
     "ColumnStats",
     "DataType",
+    "MmapColumn",
     "ModelEntry",
     "Partition",
     "PartitionedTable",
@@ -26,4 +28,5 @@ __all__ = [
     "TableStats",
     "concat_columns",
     "concat_tables",
+    "spill_table",
 ]

@@ -167,6 +167,30 @@ class Catalog:
             entry.stats = entry.stats.fill_missing(stats)
             return True
 
+    def augment_partition_stats(self, name: str,
+                                partition_stats: Sequence[TableStats]) -> bool:
+        """Fill missing fields of each partition's zone-map statistics.
+
+        The snapshot counterpart of :meth:`augment_stats` for partitioned
+        tables: persisted per-partition statistics (NDVs skipped above
+        the live-collection size cutoff, say) fill the gaps so warm
+        zone-map skipping and per-partition costing start informed. The
+        stats list must cover every partition in order — a layout
+        mismatch (table re-partitioned since the snapshot) applies
+        nothing. Live values win and no version is bumped, exactly as
+        for global statistics.
+
+        Returns False when the table is absent or the layout mismatches.
+        """
+        with self._lock:
+            entry = self._tables.get(name)
+            if entry is None \
+                    or len(partition_stats) != entry.data.num_partitions:
+                return False
+            for part, stats in zip(entry.data.partitions, partition_stats):
+                part.stats = part.stats.fill_missing(stats)
+            return True
+
     def table(self, name: str) -> TableEntry:
         if name not in self._tables:
             raise CatalogError(

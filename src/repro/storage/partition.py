@@ -32,6 +32,23 @@ class Partition:
     def num_rows(self) -> int:
         return self.table.num_rows
 
+    @property
+    def label(self) -> str:
+        """Stable display form of ``key`` for traces and EXPLAIN output.
+
+        Deterministic across runs and partition layouts: floats render
+        via ``repr`` (round-trippable), ``None`` (the single unkeyed
+        partition) as ``*``, everything else via ``str``.
+        """
+        if self.key is None:
+            return "*"
+        if isinstance(self.key, float):
+            return repr(self.key)
+        return str(self.key)
+
+    def __repr__(self) -> str:
+        return f"Partition(key={self.label}, rows={self.num_rows})"
+
 
 class PartitionedTable:
     """A logical table stored as row-disjoint partitions.
@@ -73,6 +90,10 @@ class PartitionedTable:
                 chunks.append(_make_partition(chunk, f"chunk{len(chunks)}"))
             return cls(chunks)
 
+        if partition_column not in table.columns:
+            raise SchemaError(
+                f"partition column {partition_column!r} is not in the "
+                f"schema; available columns: {table.column_names}")
         values = table.array(partition_column)
         uniques = np.unique(values)
         partitions = []
@@ -99,6 +120,48 @@ class PartitionedTable:
         if len(self.partitions) == 1:
             return self.partitions[0].table
         return concat_tables([p.table for p in self.partitions])
+
+    # ------------------------------------------------------------------
+    # Spill-to-disk policy
+    # ------------------------------------------------------------------
+    def spill(self, directory, budget_bytes: Optional[int] = None,
+              faults=None) -> int:
+        """Spill partitions to memory-mapped files under ``directory``.
+
+        The policy spills **largest partitions first** (they buy the most
+        headroom per file) until resident bytes fit ``budget_bytes``;
+        with no budget every partition spills. Each spilled fragment's
+        columns become read-only ``np.memmap`` views, its statistics and
+        key are unchanged, and row order is preserved — queries produce
+        bit-for-bit the same results. Returns the number of bytes moved
+        out of memory by this call.
+        """
+        from repro.storage.mmap_column import spill_table, spilled_bytes
+
+        resident = [(index, part) for index, part in
+                    enumerate(self.partitions)
+                    if part.table.nbytes() > spilled_bytes(part.table)]
+        resident.sort(key=lambda pair: pair[1].table.nbytes(), reverse=True)
+        resident_bytes = sum(part.table.nbytes() for _, part in resident)
+        moved = 0
+        for index, part in resident:
+            if budget_bytes is not None and resident_bytes <= budget_bytes:
+                break
+            subdir = f"part-{index:04d}"
+            spilled = spill_table(part.table, f"{directory}/{subdir}",
+                                  faults=faults)
+            self.partitions[index] = Partition(
+                table=spilled, stats=part.stats, key=part.key)
+            resident_bytes -= part.table.nbytes()
+            moved += part.table.nbytes()
+        return moved
+
+    def resident_bytes(self) -> int:
+        """Bytes held in ordinary in-memory (non-spilled) columns."""
+        from repro.storage.mmap_column import spilled_bytes
+
+        return sum(p.table.nbytes() - spilled_bytes(p.table)
+                   for p in self.partitions)
 
     def global_stats(self) -> TableStats:
         stats = self.partitions[0].stats

@@ -19,11 +19,17 @@ from repro.storage.table import Table
 
 @dataclass(frozen=True)
 class ColumnStats:
-    """Statistics for one column.
+    """Statistics for one column (the per-partition *zone map* entry).
 
     ``min_value``/``max_value`` are None for string columns, where instead a
     bounded sample of distinct values (``categories``) may be recorded; the
     optimizer uses categories to bound OneHotEncoder outputs.
+
+    Float min/max ignore NaN rows (the engine's NULL representation):
+    numeric predicates are never satisfied by NaN, so NaN-free bounds stay
+    sound for partition skipping — and an all-NaN column simply has no
+    interval, which makes skipping decisions fall back to "keep".
+    ``null_count`` records how many rows were NaN.
     """
 
     name: str
@@ -33,6 +39,7 @@ class ColumnStats:
     max_value: Optional[float] = None
     distinct_count: Optional[int] = None
     categories: Optional[Tuple[str, ...]] = None
+    null_count: Optional[int] = None
 
     MAX_TRACKED_CATEGORIES = 256
 
@@ -42,16 +49,24 @@ class ColumnStats:
         n = len(data)
         if column.dtype.is_numeric or column.dtype is DataType.BOOL:
             if n == 0:
-                return cls(name, column.dtype, 0)
+                return cls(name, column.dtype, 0, null_count=0)
+            nulls = int(np.isnan(data).sum()) \
+                if column.dtype is DataType.FLOAT else 0
+            if nulls == n:
+                # All-null: no interval, NDV 0 — a zone map that can
+                # never prove anything, which is the sound default.
+                return cls(name, column.dtype, n, distinct_count=0,
+                           null_count=nulls)
             numeric = data.astype(np.float64, copy=False)
             distinct = int(len(np.unique(data))) if n <= 2_000_000 else None
             return cls(
                 name,
                 column.dtype,
                 n,
-                min_value=float(numeric.min()),
-                max_value=float(numeric.max()),
+                min_value=float(np.nanmin(numeric)),
+                max_value=float(np.nanmax(numeric)),
                 distinct_count=distinct,
+                null_count=nulls,
             )
         # String column: record distinct values when the domain is small.
         uniques = np.unique(data) if n else np.asarray([], dtype=np.str_)
@@ -64,6 +79,7 @@ class ColumnStats:
             n,
             distinct_count=int(len(uniques)),
             categories=categories,
+            null_count=0,
         )
 
     def interval(self) -> Optional[Tuple[float, float]]:
@@ -83,6 +99,7 @@ class ColumnStats:
             "distinct_count": self.distinct_count,
             "categories": None if self.categories is None
             else list(self.categories),
+            "null_count": self.null_count,
         }
 
     @classmethod
@@ -96,6 +113,8 @@ class ColumnStats:
             distinct_count=payload["distinct_count"],
             categories=None if payload["categories"] is None
             else tuple(payload["categories"]),
+            # Snapshots written before zone maps carry no null counts.
+            null_count=payload.get("null_count"),
         )
 
     def fill_missing(self, other: "ColumnStats") -> "ColumnStats":
@@ -120,6 +139,8 @@ class ColumnStats:
             if self.distinct_count is not None else other.distinct_count,
             categories=self.categories if self.categories is not None
             else other.categories,
+            null_count=self.null_count if self.null_count is not None
+            else other.null_count,
         )
 
 
@@ -203,4 +224,6 @@ def _merge_column_stats(left: ColumnStats, right: ColumnStats) -> ColumnStats:
         max_value=_combine(left.max_value, right.max_value, max),
         distinct_count=None,  # not mergeable without sketches
         categories=categories,
+        null_count=_combine(left.null_count, right.null_count,
+                            lambda a, b: a + b),
     )

@@ -143,6 +143,17 @@ class Table:
     def nbytes(self) -> int:
         return sum(col.nbytes() for col in self.columns.values())
 
+    def spill_to(self, directory, faults=None) -> "Table":
+        """Spill every column to memory-mapped files under ``directory``.
+
+        Returns a new table whose columns are read-only ``np.memmap``
+        views over crash-safely written ``.npy`` files (see
+        :mod:`repro.storage.mmap_column`); this table is untouched.
+        """
+        from repro.storage.mmap_column import spill_table
+
+        return spill_table(self, directory, faults=faults)
+
     def __len__(self) -> int:
         return self.num_rows
 

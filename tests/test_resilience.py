@@ -721,6 +721,7 @@ class TestChaosEverySite:
             faults.inject("snapshot.write", mode="torn", probability=0.5),
             faults.inject("ledger.append", mode="torn", probability=0.5),
             faults.inject("telemetry.dump", mode="torn", probability=0.5),
+            faults.inject("spill.write", mode="torn", probability=0.5),
         ]
         assert {rule.site for rule in rules} == SITES  # nothing unhooked
 

@@ -43,6 +43,61 @@ class TestColumnStats:
         assert stats.interval() is None
 
 
+class TestZoneMapsOverNulls:
+    """NaN-safe zone maps: bounds ignore NaN, null counts track it."""
+
+    def test_nan_ignored_in_bounds(self):
+        stats = ColumnStats.collect(
+            "x", Column.floats([np.nan, 2.0, np.nan, -4.0, 1.0]))
+        assert stats.interval() == (-4.0, 2.0)
+        assert stats.null_count == 2
+
+    def test_all_nan_column_has_no_interval(self):
+        stats = ColumnStats.collect(
+            "x", Column.floats([np.nan, np.nan, np.nan]))
+        assert stats.interval() is None
+        assert stats.null_count == 3
+        assert stats.distinct_count == 0
+
+    def test_int_columns_have_zero_nulls(self):
+        stats = ColumnStats.collect("i", Column.ints([1, 2, 3]))
+        assert stats.null_count == 0
+
+    def test_null_count_roundtrips_and_merges(self):
+        left = ColumnStats.collect("x", Column.floats([np.nan, 1.0]))
+        right = ColumnStats.collect("x", Column.floats([2.0, np.nan, np.nan]))
+        back = ColumnStats.from_dict(left.to_dict())
+        assert back.null_count == 1
+        merged_stats = TableStats.collect(
+            Table.from_arrays(x=np.array([np.nan, 1.0]))).merge(
+            TableStats.collect(
+                Table.from_arrays(x=np.array([2.0, np.nan, np.nan]))))
+        assert merged_stats.columns["x"].null_count == 3
+        assert merged_stats.columns["x"].interval() == (1.0, 2.0)
+        assert right.null_count == 2
+
+    def test_legacy_payload_without_null_count(self):
+        payload = ColumnStats.collect("x", Column.floats([1.0])).to_dict()
+        payload.pop("null_count")
+        assert ColumnStats.from_dict(payload).null_count is None
+
+    def test_nan_partition_skipped_by_numeric_predicate(self):
+        # NaN never satisfies <, so an all-NaN partition's empty zone
+        # map must prove a numeric filter empty and skip the partition.
+        from repro.core.binder import Binder
+        from repro.core.parser import parse
+        from repro.relational.skipping import plan_partition_restrictions
+
+        bucket = np.repeat(np.arange(2), 50).astype(np.int64)
+        x = np.where(bucket == 0, np.nan, 5.0)
+        catalog = Catalog()
+        catalog.add_table("t", Table.from_arrays(bucket=bucket, x=x),
+                          partition_column="bucket")
+        plan = Binder(catalog).bind(
+            parse("SELECT v.x FROM t AS v WHERE v.x < 100.0"))
+        assert plan_partition_restrictions(plan, catalog) == {"t": [1]}
+
+
 class TestTableStats:
     def test_collect_and_lookup(self):
         table = Table.from_arrays(a=np.asarray([1.0, 5.0]),
