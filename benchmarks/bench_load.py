@@ -1,0 +1,165 @@
+"""Serving load bench: QPS–latency response curve + live sampler check.
+
+The direction-3 fleet arc needs a measurement substrate before it can
+claim anything about serving at scale. This bench provides the two
+gated headline numbers and the per-step curve the perf report renders:
+
+* a **closed-loop concurrency sweep** (1→8 virtual users over a warmed
+  plan cache) finds the response curve's knee — ``peak_qps`` is the
+  achieved throughput there (higher is better);
+* an **open-loop Poisson run at ~70% of that peak** measures the tail a
+  prudently-provisioned deployment would see — ``p99_at_70pct_seconds``
+  (lower is better), latency counted from the *scheduled* arrival so
+  queue wait is never omitted.
+
+Cross-checks asserted at every scale:
+
+* both generators' schedules are **seed-reproducible** (same seed →
+  identical query sequence and arrival offsets);
+* the :class:`~repro.telemetry.MetricsSampler`'s windowed interval
+  p50/p99 (histogram-bucket diffs over exactly the open-loop window)
+  agree with the harness's exact per-request service quantiles within
+  one histogram growth factor — the sampler's stated error bound;
+* the ``queries_in_flight`` gauge returns to zero (no wedged
+  decrements), and the sampler's window saw every request.
+"""
+
+import numpy as np
+
+from benchmarks._util import run_report, write_bench_json
+from repro.bench.harness import ReportTable, env_scale, scaled
+from repro.bench.workloads import build_workload
+from repro.loadgen import (ClosedLoopLoad, OpenLoopLoad, QueryMix,
+                           closed_loop_sweep, session_target)
+from repro.telemetry.metrics import DEFAULT_GROWTH
+
+CONCURRENCIES = (1, 2, 4, 8)
+SEED = 20220610
+WARMUP = 5
+
+#: Slack over the one-growth-factor bound: the harness measures the
+#: whole outcome envelope while ``query_seconds`` is the inner sql()
+#: time, and an exact sample quantile versus a bucket interpolation
+#: differ definitionally at small window counts.
+CROSSCHECK_SLACK = 1.25
+
+
+def _quantile_ratio(sampled, exact) -> float:
+    """max(a/b, b/a) — symmetric 'within a factor of' measure."""
+    if not sampled or not exact:
+        return float("inf")
+    ratio = sampled / exact
+    return max(ratio, 1.0 / ratio)
+
+
+def _load_report() -> ReportTable:
+    requests_per_step = scaled(150, minimum=30)
+    open_requests = scaled(300, minimum=50)
+    full_scale = env_scale() >= 1.0
+
+    workload = build_workload("hospital", "dt")
+    session = workload.make_session()
+    mix = QueryMix([workload.query])
+    target = session_target(session)
+    for _ in range(WARMUP):
+        session.sql(workload.query)
+
+    # Seed-reproducibility: same seed → identical precomputed schedules.
+    probe_a = ClosedLoopLoad(target, mix, concurrency=4, requests=32,
+                             think_seconds=0.001, seed=SEED)
+    probe_b = ClosedLoopLoad(target, mix, concurrency=4, requests=32,
+                             think_seconds=0.001, seed=SEED)
+    assert probe_a.items == probe_b.items
+    assert np.array_equal(probe_a.think_times, probe_b.think_times)
+    open_a = OpenLoopLoad(target, mix, rate=50.0, requests=32, seed=SEED)
+    open_b = OpenLoopLoad(target, mix, rate=50.0, requests=32, seed=SEED)
+    assert open_a.items == open_b.items
+    assert np.array_equal(open_a.arrivals, open_b.arrivals)
+
+    # 1. Closed-loop concurrency sweep → response curve + knee.
+    curve = closed_loop_sweep(target, mix, CONCURRENCIES,
+                              requests_per_step=requests_per_step,
+                              seed=SEED)
+    assert all(step.error_rate == 0.0 for step in curve.steps), (
+        "load sweep saw failed outcomes on a clean (fault-free) session")
+    peak_qps = curve.peak_sustained_qps
+    assert peak_qps > 0
+
+    # 2. Open-loop Poisson run at ~70% of the peak, sampler watching:
+    # the baseline capture lands after the sweep, so the one window
+    # diffs to exactly this run's queries.
+    rate = max(1.0, 0.7 * peak_qps)
+    sampler = session.telemetry.sampler()
+    sampler.sample()  # baseline
+    open_result = OpenLoopLoad(target, mix, rate=rate,
+                               requests=open_requests, seed=SEED,
+                               max_workers=16).run()
+    window = sampler.sample()
+    assert open_result.error_rate == 0.0
+    p99_at_70pct = open_result.quantile(0.99)
+
+    # 3. Sampler cross-check: windowed interval quantiles vs the
+    # harness's exact service-time quantiles, within one growth factor.
+    hist = window["histograms"]["query_seconds"]
+    assert hist["count"] == open_requests, (
+        f"sampler window saw {hist['count']} queries, harness issued "
+        f"{open_requests}")
+    p50_ratio = _quantile_ratio(hist["p50"],
+                                open_result.quantile(0.50, kind="service"))
+    p99_ratio = _quantile_ratio(hist["p99"],
+                                open_result.quantile(0.99, kind="service"))
+    bound = DEFAULT_GROWTH * CROSSCHECK_SLACK
+    assert p50_ratio <= bound, (
+        f"sampler window p50 off by {p50_ratio:.3f}x vs harness "
+        f"(bound {bound:.3f}x)")
+    assert p99_ratio <= bound, (
+        f"sampler window p99 off by {p99_ratio:.3f}x vs harness "
+        f"(bound {bound:.3f}x)")
+
+    # 4. The live-concurrency gauge drained cleanly.
+    assert session.serving_stats.queries_in_flight == 0, (
+        "queries_in_flight gauge wedged above zero after the run")
+
+    table = ReportTable(
+        title=f"Serving response curve (hospital/dt, closed-loop sweep "
+              f"{requests_per_step} req/step + open-loop @70% peak)",
+        columns=["concurrency", "achieved_qps", "p50_ms", "p99_ms",
+                 "knee"],
+    )
+    for index, step in enumerate(curve.steps):
+        table.add(concurrency=int(step.offered),
+                  achieved_qps=step.achieved_qps,
+                  p50_ms=step.p50_seconds * 1e3,
+                  p99_ms=step.p99_seconds * 1e3,
+                  knee="<-" if index == curve.knee_index else "")
+    table.note(f"peak sustained {peak_qps:.1f} QPS at concurrency "
+               f"{int(curve.knee.offered)}")
+    table.note(f"open-loop @ {rate:.1f} QPS ({open_requests} Poisson "
+               f"arrivals): achieved {open_result.achieved_qps:.1f} QPS, "
+               f"p50={open_result.quantile(0.5) * 1e3:.2f}ms "
+               f"p99={p99_at_70pct * 1e3:.2f}ms")
+    table.note(f"sampler window vs harness: p50 within {p50_ratio:.3f}x, "
+               f"p99 within {p99_ratio:.3f}x "
+               f"(bound {bound:.3f}x = one growth factor + slack)")
+
+    write_bench_json("load", {
+        "requests_per_step": requests_per_step,
+        "open_requests": open_requests,
+        "peak_qps": peak_qps,
+        "p99_at_70pct_seconds": p99_at_70pct,
+        "open_rate": rate,
+        "open_achieved_qps": open_result.achieved_qps,
+        "open_p50_seconds": open_result.quantile(0.50),
+        "open_error_rate": open_result.error_rate,
+        "curve": curve.to_dict(),
+        "sampler": {
+            "window_queries": hist["count"],
+            "p50_ratio": p50_ratio,
+            "p99_ratio": p99_ratio,
+        },
+    }, full_scale=full_scale)
+    return table
+
+
+def test_serving_load(benchmark):
+    run_report(benchmark, _load_report, "bench_load")

@@ -25,6 +25,8 @@ from repro.adaptive import FeedbackStore, OperatorProfile
 from repro.core.optimizer import OptimizationReport, RavenOptimizer
 from repro.core.session import RavenSession, RunStats, ServingStats
 from repro.errors import DeadlineExceededError, RavenError
+from repro.loadgen import ClosedLoopLoad, OpenLoopLoad, QueryMix, \
+    ResponseCurve
 from repro.persist import Snapshot, SnapshotStore
 from repro.resilience import (
     CircuitBreakerBoard,
@@ -37,15 +39,20 @@ from repro.serving import MicroBatcher, PlanCache, ShardRouter
 from repro.storage.catalog import Catalog
 from repro.storage.partition import PartitionedTable
 from repro.storage.table import Schema, Table
-from repro.telemetry import MetricsRegistry, SlowQueryLog, Telemetry, Tracer
+from repro.telemetry import MetricsRegistry, MetricsSampler, SlowQueryLog, \
+    Telemetry, Tracer
 
 __version__ = "0.1.0"
 
 __all__ = [
-    "Catalog", "CircuitBreakerBoard", "Deadline", "DeadlineExceededError",
-    "FaultInjector", "FeedbackStore", "MetricsRegistry", "MicroBatcher",
-    "OperatorProfile", "OptimizationReport", "PartitionedTable", "PlanCache",
-    "QueryOutcome", "RavenError", "RavenOptimizer", "RavenSession",
+    "Catalog", "CircuitBreakerBoard", "ClosedLoopLoad", "Deadline",
+    "DeadlineExceededError",
+    "FaultInjector", "FeedbackStore", "MetricsRegistry", "MetricsSampler",
+    "MicroBatcher",
+    "OpenLoopLoad", "OperatorProfile", "OptimizationReport",
+    "PartitionedTable", "PlanCache",
+    "QueryMix", "QueryOutcome", "RavenError", "RavenOptimizer",
+    "RavenSession", "ResponseCurve",
     "RetryPolicy", "RunStats", "Schema", "ServingStats", "ShardRouter",
     "SlowQueryLog",
     "Snapshot", "SnapshotStore", "Table", "Telemetry", "Tracer",

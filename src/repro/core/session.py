@@ -195,6 +195,11 @@ class ServingStats:
     as ``serving_<field>`` (the session's shared registry, so one
     metrics snapshot or Prometheus scrape sees them); the attribute API
     is preserved bit-for-bit by properties.
+
+    ``queries_in_flight`` is the one non-monotonic member: a gauge of
+    queries currently inside ``sql()`` (incremented on entry, decremented
+    in a ``finally`` so error paths can never wedge it high), giving the
+    metrics sampler live concurrency next to queue depth.
     """
 
     FIELDS = ("submitted", "completed", "rejected", "failed", "retries",
@@ -202,14 +207,14 @@ class ServingStats:
               "breaker_trips", "breaker_reopens", "breaker_half_opens",
               "breaker_closes")
 
-    __slots__ = ("_counters",)
+    __slots__ = ("_counters", "in_flight")
 
     def __init__(self, submitted: int = 0, completed: int = 0,
                  rejected: int = 0, failed: int = 0, retries: int = 0,
                  deadline_exceeded: int = 0, degraded_runs: int = 0,
                  expression_fallbacks: int = 0, breaker_trips: int = 0,
                  breaker_reopens: int = 0, breaker_half_opens: int = 0,
-                 breaker_closes: int = 0,
+                 breaker_closes: int = 0, queries_in_flight: int = 0,
                  registry: Optional[MetricsRegistry] = None):
         if registry is None:
             registry = MetricsRegistry()
@@ -223,12 +228,20 @@ class ServingStats:
             if value:
                 counter.inc(value)
             self._counters[name] = counter
+        self.in_flight = registry.gauge("serving_queries_in_flight")
+        if queries_in_flight:
+            self.in_flight.set(queries_in_flight)
+
+    @property
+    def queries_in_flight(self) -> int:
+        return self.in_flight.value
 
     def _values(self) -> Tuple[int, ...]:
         return tuple(self._counters[name].value for name in self.FIELDS)
 
     def snapshot(self) -> "ServingStats":
-        return ServingStats(*self._values())
+        return ServingStats(*self._values(),
+                            queries_in_flight=self.queries_in_flight)
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, ServingStats):
@@ -238,7 +251,8 @@ class ServingStats:
     def __repr__(self) -> str:
         inner = ", ".join(f"{name}={value}" for name, value
                           in zip(self.FIELDS, self._values()))
-        return f"ServingStats({inner})"
+        return (f"ServingStats({inner}, "
+                f"queries_in_flight={self.queries_in_flight})")
 
 
 for _field in ServingStats.FIELDS:
@@ -792,17 +806,23 @@ class RavenSession:
             if attempt is not None:
                 trace.root.set(attempt=attempt)
         started = time.perf_counter()
+        # The live-concurrency gauge: dec in the finally so no error path
+        # (breaker raise, deadline, executor fault) can wedge it high.
+        self.serving_stats.in_flight.inc()
         try:
-            table, stats = self._sql_routed(query, deadline, trace)
-        except BaseException as error:
-            if telemetry.enabled:
-                if trace is not None:
-                    telemetry.tracer.finish(trace, status="error",
-                                            error=error)
-                telemetry.observe_query(
-                    query, time.perf_counter() - started, trace=trace,
-                    error=error)
-            raise
+            try:
+                table, stats = self._sql_routed(query, deadline, trace)
+            except BaseException as error:
+                if telemetry.enabled:
+                    if trace is not None:
+                        telemetry.tracer.finish(trace, status="error",
+                                                error=error)
+                    telemetry.observe_query(
+                        query, time.perf_counter() - started, trace=trace,
+                        error=error)
+                raise
+        finally:
+            self.serving_stats.in_flight.dec()
         if telemetry.enabled:
             if trace is not None:
                 trace.root.set(cache_hit=stats.cache_hit,

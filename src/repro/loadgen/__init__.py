@@ -1,0 +1,50 @@
+"""Load generation for the serving stack: the measurement substrate the
+multi-process fleet arc is built (and gated) against.
+
+Two generator disciplines, both driving per-query
+:class:`~repro.resilience.QueryOutcome` envelopes so a failing or
+degraded query is a *data point*, never an aborted run:
+
+* :class:`ClosedLoopLoad` — a fixed pool of synchronous callers
+  (``concurrency`` virtual users), each issuing its next query as soon
+  as the previous one finishes, with optional seeded think time. Offered
+  load self-regulates to what the system can absorb; this is the
+  discipline for finding *capacity*.
+* :class:`OpenLoopLoad` — Poisson arrivals at a target rate from a
+  precomputed seeded schedule. Arrivals do not wait for completions, and
+  each request's latency is measured **from its scheduled arrival**, so
+  queue wait under overload counts against the system (no coordinated
+  omission); this is the discipline for measuring *latency at a given
+  offered rate*.
+
+Both precompute their entire schedule (query sequence, think times,
+arrival offsets) from a seed at construction, so two runs with the same
+seed issue the identical request sequence — the reproducibility contract
+``benchmarks/bench_load.py`` asserts.
+
+:mod:`~repro.loadgen.sweep` steps offered load until saturation and
+reduces the steps to a :class:`ResponseCurve` — knee detection (achieved
+throughput plateaus while p99 blows up), peak sustained QPS, and the
+per-step records the perf report renders as the response-curve table.
+"""
+
+from .harness import (ClosedLoopLoad, LoadResult, OpenLoopLoad,
+                      RequestRecord, router_target, session_target)
+from .mix import QueryMix
+from .sweep import (ResponseCurve, SweepStep, closed_loop_sweep, find_knee,
+                    open_loop_sweep)
+
+__all__ = [
+    "ClosedLoopLoad",
+    "LoadResult",
+    "OpenLoopLoad",
+    "QueryMix",
+    "RequestRecord",
+    "ResponseCurve",
+    "SweepStep",
+    "closed_loop_sweep",
+    "find_knee",
+    "open_loop_sweep",
+    "router_target",
+    "session_target",
+]

@@ -1,0 +1,303 @@
+"""Closed-loop and open-loop load generators over outcome envelopes.
+
+A *target* is any callable taking one mix item and returning a
+:class:`~repro.resilience.QueryOutcome` — :func:`session_target` wraps a
+session's ``serve_outcomes`` (one query per call, so retry policies,
+deadlines and backpressure all apply), :func:`router_target` wraps a
+:class:`~repro.serving.router.ShardRouter` for ``(shard_key, query)``
+mixes. Because the envelope isolates errors per query, a load run always
+produces one :class:`RequestRecord` per scheduled request: latency,
+outcome, attempt count, and degraded-mode flags.
+
+Latency semantics differ by discipline, on purpose:
+
+* closed loop: a request is *born* when its worker gets to it, so
+  ``latency_seconds == service_seconds`` (pure service time);
+* open loop: a request is born at its scheduled Poisson arrival, so
+  ``latency_seconds`` counts queue wait when the system falls behind —
+  the anti-coordinated-omission measurement — while
+  ``service_seconds`` still isolates the target's own time (that is the
+  series the metrics sampler's interval quantiles cross-check against).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .mix import QueryMix
+
+Target = Callable[[object], "QueryOutcome"]
+
+
+def _query_text(item: object) -> str:
+    """The query string of a mix item (pairs carry it second)."""
+    if isinstance(item, tuple) and len(item) == 2:
+        return str(item[1])
+    return str(item)
+
+
+def session_target(session, retry=None, deadline=None, **kwargs) -> Target:
+    """A target running each query on ``session`` with per-query error
+    isolation (``serve_outcomes`` semantics: retries, deadlines,
+    degraded-mode flags all ride the outcome)."""
+    def call(item):
+        return session.serve_outcomes([_query_text(item)], workers=1,
+                                      retry=retry, deadline=deadline,
+                                      **kwargs)[0]
+    return call
+
+
+def router_target(router, retry=None, deadline=None, **kwargs) -> Target:
+    """A target routing ``(shard_key, query)`` items through ``router``
+    (per-shard metrics record every request)."""
+    def call(item):
+        return router.serve_outcomes([item], workers=1, retry=retry,
+                                     deadline=deadline, **kwargs)[0]
+    return call
+
+
+@dataclass
+class RequestRecord:
+    """One scheduled request's measured life."""
+
+    index: int
+    query: str
+    scheduled: float  # offset from run start when the request was due
+    started: float    # offset when the target call began
+    finished: float   # offset when the target call returned
+    ok: bool
+    attempts: int
+    degraded: tuple
+    error: Optional[str] = None  # exception type name for failed outcomes
+
+    @property
+    def service_seconds(self) -> float:
+        return max(0.0, self.finished - self.started)
+
+    @property
+    def latency_seconds(self) -> float:
+        return max(0.0, self.finished - self.scheduled)
+
+
+class LoadResult:
+    """All records of one load run plus its derived aggregates."""
+
+    def __init__(self, records: List[RequestRecord], wall_seconds: float,
+                 mode: str, offered: float):
+        self.records = records
+        self.wall_seconds = wall_seconds
+        self.mode = mode
+        #: Offered load: concurrency for closed loop, target QPS for open.
+        self.offered = offered
+
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for record in self.records if not record.ok)
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.requests if self.records else 0.0
+
+    @property
+    def achieved_qps(self) -> float:
+        if not self.records or self.wall_seconds <= 0:
+            return 0.0
+        return self.requests / self.wall_seconds
+
+    def latencies(self, kind: str = "latency") -> np.ndarray:
+        """Per-request seconds, run order. ``kind`` is ``"latency"``
+        (from scheduled arrival) or ``"service"`` (target call only)."""
+        if kind == "latency":
+            values = [record.latency_seconds for record in self.records]
+        elif kind == "service":
+            values = [record.service_seconds for record in self.records]
+        else:
+            raise ValueError("kind must be 'latency' or 'service'")
+        return np.asarray(values, dtype=float)
+
+    def quantile(self, q: float, kind: str = "latency") -> float:
+        """Exact (non-bucketed) latency quantile over the run."""
+        values = self.latencies(kind)
+        if values.size == 0:
+            return 0.0
+        return float(np.quantile(values, q))
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "offered": self.offered,
+            "requests": self.requests,
+            "wall_seconds": self.wall_seconds,
+            "achieved_qps": self.achieved_qps,
+            "error_rate": self.error_rate,
+            "p50_seconds": self.quantile(0.50),
+            "p99_seconds": self.quantile(0.99),
+            "service_p50_seconds": self.quantile(0.50, kind="service"),
+            "service_p99_seconds": self.quantile(0.99, kind="service"),
+            "attempts": sum(record.attempts for record in self.records),
+            "degraded": sum(1 for record in self.records if record.degraded),
+        }
+
+    def __repr__(self) -> str:
+        return (f"LoadResult({self.mode}, offered={self.offered}, "
+                f"requests={self.requests}, "
+                f"qps={self.achieved_qps:.1f}, "
+                f"p99={self.quantile(0.99) * 1e3:.2f}ms)")
+
+
+def _run_target(target: Target, item: object) -> "QueryOutcome":
+    """Call the target; a raising target still yields an envelope (the
+    harness's own error isolation, for targets that are not
+    serve_outcomes-shaped)."""
+    from repro.resilience.retry import QueryOutcome
+    try:
+        return target(item)
+    except Exception as error:
+        return QueryOutcome(query=_query_text(item), error=error, attempts=1)
+
+
+def _record(index: int, item: object, scheduled: float, started: float,
+            finished: float, outcome: "QueryOutcome") -> RequestRecord:
+    return RequestRecord(
+        index=index, query=_query_text(item), scheduled=scheduled,
+        started=started, finished=finished, ok=outcome.ok,
+        attempts=outcome.attempts, degraded=tuple(outcome.degraded),
+        error=None if outcome.ok else type(outcome.error).__name__)
+
+
+class ClosedLoopLoad:
+    """Fixed-concurrency virtual users with optional seeded think time.
+
+    ``requests`` total queries are drawn from ``mix`` at construction;
+    ``concurrency`` workers pull the next scheduled request as soon as
+    their previous one completes, sleeping its think time first
+    (exponential with mean ``think_seconds``, seeded — so the pacing is
+    as reproducible as the mix). The *assignment* of requests to workers
+    follows runtime timing, but the issued sequence, per-request queries
+    and think times are identical across same-seed runs.
+    """
+
+    def __init__(self, target: Target, mix: QueryMix, concurrency: int,
+                 requests: int, think_seconds: float = 0.0, seed: int = 0):
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if requests < 1:
+            raise ValueError("requests must be >= 1")
+        if think_seconds < 0:
+            raise ValueError("think_seconds must be >= 0")
+        self.target = target
+        self.concurrency = concurrency
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        #: The full request schedule, fixed before the run starts.
+        self.items: List[object] = mix.sample(requests, rng)
+        self.think_times = (rng.exponential(think_seconds, size=requests)
+                            if think_seconds > 0
+                            else np.zeros(requests))
+
+    def run(self) -> LoadResult:
+        requests = len(self.items)
+        records: List[Optional[RequestRecord]] = [None] * requests
+        cursor = {"next": 0}
+        lock = threading.Lock()
+        t0 = time.perf_counter()
+
+        def worker() -> None:
+            while True:
+                with lock:
+                    index = cursor["next"]
+                    if index >= requests:
+                        return
+                    cursor["next"] = index + 1
+                think = self.think_times[index]
+                if think > 0:
+                    time.sleep(think)
+                item = self.items[index]
+                started = time.perf_counter() - t0
+                outcome = _run_target(self.target, item)
+                finished = time.perf_counter() - t0
+                records[index] = _record(index, item, started, started,
+                                         finished, outcome)
+
+        threads = [threading.Thread(target=worker, daemon=True,
+                                    name=f"loadgen-closed-{i}")
+                   for i in range(min(self.concurrency, requests))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - t0
+        return LoadResult(records, wall, mode="closed",  # type: ignore
+                          offered=float(self.concurrency))
+
+
+class OpenLoopLoad:
+    """Poisson arrivals at ``rate`` requests/second from a seeded,
+    precomputed schedule.
+
+    The dispatcher sleeps to each arrival offset and hands the request
+    to a bounded pool; when the system cannot keep up, requests queue
+    and their ``latency_seconds`` (measured from the *scheduled*
+    arrival) grows without bound — exactly the overload signal a
+    response-curve sweep is looking for. ``max_workers`` bounds the
+    in-flight concurrency the generator itself will apply.
+    """
+
+    def __init__(self, target: Target, mix: QueryMix, rate: float,
+                 requests: int, seed: int = 0, max_workers: int = 32):
+        if rate <= 0:
+            raise ValueError("rate must be > 0")
+        if requests < 1:
+            raise ValueError("requests must be >= 1")
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.target = target
+        self.rate = float(rate)
+        self.seed = seed
+        self.max_workers = max_workers
+        rng = np.random.default_rng(seed)
+        #: Scheduled arrival offsets (seconds from run start), cumulative
+        #: seeded exponential gaps — fixed before the run starts.
+        self.arrivals = np.cumsum(rng.exponential(1.0 / self.rate,
+                                                  size=requests))
+        self.items: List[object] = mix.sample(requests, rng)
+
+    def run(self) -> LoadResult:
+        requests = len(self.items)
+        records: List[Optional[RequestRecord]] = [None] * requests
+        t0 = time.perf_counter()
+
+        def run_one(index: int) -> None:
+            item = self.items[index]
+            started = time.perf_counter() - t0
+            outcome = _run_target(self.target, item)
+            finished = time.perf_counter() - t0
+            records[index] = _record(index, item,
+                                     float(self.arrivals[index]), started,
+                                     finished, outcome)
+
+        with ThreadPoolExecutor(
+                max_workers=min(self.max_workers, requests),
+                thread_name_prefix="loadgen-open") as pool:
+            futures = []
+            for index in range(requests):
+                delay = self.arrivals[index] - (time.perf_counter() - t0)
+                if delay > 0:
+                    time.sleep(delay)
+                futures.append(pool.submit(run_one, index))
+            for future in futures:
+                future.result()
+        wall = time.perf_counter() - t0
+        return LoadResult(records, wall, mode="open",  # type: ignore
+                          offered=self.rate)

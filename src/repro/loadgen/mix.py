@@ -1,0 +1,59 @@
+"""Seeded, weighted query mixes.
+
+A :class:`QueryMix` holds the request vocabulary of a load run — plain
+query strings for a single-session target, or ``(shard_key, query)``
+pairs for a :class:`~repro.serving.router.ShardRouter` target — with
+optional weights. ``schedule(count, seed)`` draws the full request
+sequence up front from a seeded generator, so a run's mix is decided
+before its first request and two runs with the same seed issue the same
+sequence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class QueryMix:
+    """A weighted set of request items with seeded sequence draws."""
+
+    def __init__(self, items: Sequence[object],
+                 weights: Optional[Sequence[float]] = None):
+        if not items:
+            raise ValueError("a query mix needs at least one item")
+        self.items: List[object] = list(items)
+        if weights is None:
+            self._probabilities = np.full(len(self.items),
+                                          1.0 / len(self.items))
+        else:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != (len(self.items),):
+                raise ValueError("weights must align one-to-one with items")
+            if np.any(weights < 0) or weights.sum() <= 0:
+                raise ValueError("weights must be non-negative with a "
+                                 "positive sum")
+            self._probabilities = weights / weights.sum()
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._probabilities.copy()
+
+    def sample(self, count: int, rng: np.random.Generator) -> List[object]:
+        """Draw ``count`` items from the mix using ``rng``."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        indices = rng.choice(len(self.items), size=count,
+                             p=self._probabilities)
+        return [self.items[i] for i in indices]
+
+    def schedule(self, count: int, seed: int) -> List[object]:
+        """The full, reproducible request sequence for one run."""
+        return self.sample(count, np.random.default_rng(seed))
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        return f"QueryMix(items={len(self.items)})"

@@ -1,0 +1,160 @@
+"""Response-curve sweeps: step offered load until saturation.
+
+A sweep runs one load per offered level (closed-loop concurrencies or
+open-loop rates) and reduces each run to a :class:`SweepStep`. The
+:class:`ResponseCurve` finds the **knee** — the last step before
+saturation, where saturation means achieved throughput stopped growing
+materially *while* p99 blew up relative to the curve's base — and
+derives the two gated headline numbers: peak sustained QPS (achieved
+throughput at the knee) and p99 at ~70% of the knee's offered load (the
+tail latency a prudently-provisioned deployment would see).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from .harness import (ClosedLoopLoad, LoadResult, OpenLoopLoad, Target)
+from .mix import QueryMix
+
+
+@dataclass
+class SweepStep:
+    """One offered-load level's reduced measurements."""
+
+    offered: float
+    achieved_qps: float
+    p50_seconds: float
+    p99_seconds: float
+    error_rate: float
+    requests: int
+
+    @classmethod
+    def from_result(cls, result: LoadResult) -> "SweepStep":
+        return cls(offered=result.offered,
+                   achieved_qps=result.achieved_qps,
+                   p50_seconds=result.quantile(0.50),
+                   p99_seconds=result.quantile(0.99),
+                   error_rate=result.error_rate,
+                   requests=result.requests)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"offered": self.offered,
+                "achieved_qps": self.achieved_qps,
+                "p50_seconds": self.p50_seconds,
+                "p99_seconds": self.p99_seconds,
+                "error_rate": self.error_rate,
+                "requests": self.requests}
+
+
+def find_knee(steps: Sequence[SweepStep], plateau: float = 0.10,
+              blowup: float = 3.0) -> int:
+    """Index of the last step before saturation.
+
+    A step ``i`` is *saturated* when throughput has plateaued (achieved
+    QPS grew less than ``plateau`` relative to the previous step) while
+    its p99 has blown up (more than ``blowup``× the first step's p99) —
+    the classic response-curve signature of a system past its knee:
+    offered load keeps rising, completions don't, latency absorbs the
+    difference. The knee is the step before the first saturated one;
+    when nothing saturates, it is the highest-throughput step.
+    """
+    if not steps:
+        raise ValueError("find_knee needs at least one step")
+    base_p99 = steps[0].p99_seconds
+    for i in range(1, len(steps)):
+        grew = steps[i].achieved_qps >= steps[i - 1].achieved_qps * (
+            1.0 + plateau)
+        blown = base_p99 > 0 and steps[i].p99_seconds > blowup * base_p99
+        if not grew and blown:
+            return i - 1
+    return max(range(len(steps)), key=lambda i: steps[i].achieved_qps)
+
+
+class ResponseCurve:
+    """Per-step records + knee-derived headline numbers of one sweep."""
+
+    def __init__(self, steps: Sequence[SweepStep], mode: str,
+                 plateau: float = 0.10, blowup: float = 3.0):
+        if not steps:
+            raise ValueError("a response curve needs at least one step")
+        self.steps: List[SweepStep] = list(steps)
+        self.mode = mode
+        self.knee_index = find_knee(self.steps, plateau=plateau,
+                                    blowup=blowup)
+
+    # ------------------------------------------------------------------
+    @property
+    def knee(self) -> SweepStep:
+        return self.steps[self.knee_index]
+
+    @property
+    def peak_sustained_qps(self) -> float:
+        """Achieved throughput at the knee — what the system sustains
+        before latency starts absorbing offered load."""
+        return self.knee.achieved_qps
+
+    def step_at_fraction(self, fraction: float) -> SweepStep:
+        """The measured step whose offered load is closest to
+        ``fraction`` of the knee's offered load."""
+        target = fraction * self.knee.offered
+        return min(self.steps, key=lambda step: abs(step.offered - target))
+
+    def p99_at_fraction(self, fraction: float = 0.7) -> float:
+        return self.step_at_fraction(fraction).p99_seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "knee_index": self.knee_index,
+            "peak_sustained_qps": self.peak_sustained_qps,
+            "knee_offered": self.knee.offered,
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+    def __repr__(self) -> str:
+        return (f"ResponseCurve({self.mode}, steps={len(self.steps)}, "
+                f"knee={self.knee_index}, "
+                f"peak_qps={self.peak_sustained_qps:.1f})")
+
+
+def sweep(make_load: Callable[[float], object],
+          offered_levels: Sequence[float], mode: str,
+          plateau: float = 0.10, blowup: float = 3.0) -> ResponseCurve:
+    """Run ``make_load(level).run()`` per level, in ascending offered
+    order, and reduce to a :class:`ResponseCurve`."""
+    steps = []
+    for level in sorted(offered_levels):
+        result = make_load(level).run()
+        steps.append(SweepStep.from_result(result))
+    return ResponseCurve(steps, mode=mode, plateau=plateau, blowup=blowup)
+
+
+def closed_loop_sweep(target: Target, mix: QueryMix,
+                      concurrencies: Sequence[int], requests_per_step: int,
+                      think_seconds: float = 0.0, seed: int = 0,
+                      plateau: float = 0.10,
+                      blowup: float = 3.0) -> ResponseCurve:
+    """Step fixed concurrency (1, 2, 4, … style ladders) to find the
+    capacity knee. Each step reuses the seed, so its request schedule is
+    the same mix draw at every concurrency."""
+    return sweep(
+        lambda concurrency: ClosedLoopLoad(
+            target, mix, concurrency=int(concurrency),
+            requests=requests_per_step, think_seconds=think_seconds,
+            seed=seed),
+        concurrencies, mode="closed", plateau=plateau, blowup=blowup)
+
+
+def open_loop_sweep(target: Target, mix: QueryMix, rates: Sequence[float],
+                    requests_per_step: int, seed: int = 0,
+                    max_workers: int = 32, plateau: float = 0.10,
+                    blowup: float = 3.0) -> ResponseCurve:
+    """Step the offered Poisson rate; past the knee, scheduled-arrival
+    latency grows without bound while achieved QPS flattens."""
+    return sweep(
+        lambda rate: OpenLoopLoad(target, mix, rate=float(rate),
+                                  requests=requests_per_step, seed=seed,
+                                  max_workers=max_workers),
+        rates, mode="open", plateau=plateau, blowup=blowup)

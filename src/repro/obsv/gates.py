@@ -107,6 +107,17 @@ DEFAULT_GATES: Sequence[Gate] = (
     Gate("partitions", "skipping_speedup", tolerance=0.25),
     Gate("partitions", "morsel_speedup", tolerance=0.25),
     Gate("partitions", "spill_slowdown", LOWER_IS_BETTER, tolerance=0.30),
+    # Serving load observatory. Unlike the ratio gates above, these two
+    # are *absolute* serving numbers, so their run-to-run noise carries
+    # thread-scheduling and machine drift undamped: the closed-loop peak
+    # sustained QPS (throughput at the response curve's knee) was
+    # observed swinging ~25% across runs on a shared runner, and the
+    # open-loop p99 at ~70% of that peak is a tail latency of ~ms
+    # queries under Poisson arrivals — the widest-variance number in the
+    # suite. Both get wide bands; the trailing-window median is what
+    # keeps them honest across machines.
+    Gate("load", "peak_qps", tolerance=0.40),
+    Gate("load", "p99_at_70pct_seconds", LOWER_IS_BETTER, tolerance=0.50),
 )
 
 

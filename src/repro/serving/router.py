@@ -13,11 +13,18 @@ their identity: the fleet-union merge in
 :class:`~repro.persist.store.SnapshotStore` deduplicates by origin,
 and a shard restored from its own snapshot continues the same
 feedback lineage instead of appearing as a brand-new worker.
+
+Fan-out is observable: every routed query lands on ``shard=<key>``-
+labeled instruments (``router_queries``, ``router_errors``,
+``router_query_seconds``) in the router's :class:`MetricsRegistry`, so
+per-shard QPS and latency skew show up in one Prometheus scrape or one
+:class:`~repro.telemetry.sampler.MetricsSampler` time series.
 """
 
 from __future__ import annotations
 
 import hashlib
+import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, \
@@ -25,6 +32,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, \
 
 from repro.errors import RavenError
 from repro.storage.table import Table
+from repro.telemetry.metrics import MetricsRegistry
 
 
 def shard_origin(key: object) -> str:
@@ -42,13 +50,38 @@ class ShardRouter:
     lands consistently.
     """
 
-    def __init__(self, shards: Mapping[object, "RavenSession"]):
+    def __init__(self, shards: Mapping[object, "RavenSession"],
+                 registry: Optional[MetricsRegistry] = None):
         if not shards:
             raise RavenError("a shard router needs at least one shard")
         self.shards: Dict[object, "RavenSession"] = dict(shards)
         self._ordered = sorted(self.shards, key=str)
         for key, session in self.shards.items():
             session._persist_origin = shard_origin(key)
+        # Fan-out metrics, labeled ``shard=<key>`` so per-shard QPS and
+        # latency skew show up in one scrape. ``registry`` lets a caller
+        # (or the load observatory's sampler) share a registry with other
+        # components; by default the router owns its own.
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._shard_queries: Dict[object, object] = {}
+        self._shard_errors: Dict[object, object] = {}
+        self._shard_seconds: Dict[object, object] = {}
+        for key in self._ordered:
+            labels = {"shard": str(key)}
+            self._shard_queries[key] = self.metrics.counter(
+                "router_queries", labels)
+            self._shard_errors[key] = self.metrics.counter(
+                "router_errors", labels)
+            self._shard_seconds[key] = self.metrics.histogram(
+                "router_query_seconds", labels)
+
+    def _observe(self, owner: object, seconds: Optional[float],
+                 ok: bool = True) -> None:
+        self._shard_queries[owner].inc()
+        if seconds is not None:
+            self._shard_seconds[owner].observe(seconds)
+        if not ok:
+            self._shard_errors[owner].inc()
 
     @classmethod
     def build(cls, keys: Iterable[object],
@@ -73,7 +106,15 @@ class ShardRouter:
 
     def sql(self, key: object, query: str, **kwargs) -> Table:
         """Run one query on the shard owning ``key``."""
-        return self.session(key).sql(query, **kwargs)
+        owner = self.route(key)
+        started = time.perf_counter()
+        try:
+            table = self.shards[owner].sql(query, **kwargs)
+        except BaseException:
+            self._observe(owner, time.perf_counter() - started, ok=False)
+            raise
+        self._observe(owner, time.perf_counter() - started)
+        return table
 
     def serve(self, items: Iterable[Tuple[object, str]], workers: int = 4,
               **kwargs) -> List[Table]:
@@ -87,27 +128,69 @@ class ShardRouter:
         ``kwargs`` pass through to each shard's ``serve``.
         """
         items = list(items)
-        by_shard: Dict[object, List[int]] = {}
-        for index, (key, _) in enumerate(items):
-            by_shard.setdefault(self.route(key), []).append(index)
+        by_shard = self._group(items)
         results: List[Optional[Table]] = [None] * len(items)
 
         def run_shard(owner: object, indexes: List[int]) -> None:
-            tables = self.shards[owner].serve(
-                [items[i][1] for i in indexes], workers=workers, **kwargs)
-            for i, table in zip(indexes, tables):
+            try:
+                pairs = self.shards[owner].serve_with_stats(
+                    [items[i][1] for i in indexes], workers=workers,
+                    **kwargs)
+            except BaseException:
+                # The shard batch aborted; attribute one error to the
+                # shard so the skew view still sees the failure.
+                self._observe(owner, None, ok=False)
+                raise
+            for i, (table, stats) in zip(indexes, pairs):
                 results[i] = table
+                self._observe(owner, stats.total_seconds)
 
+        self._fan_out(by_shard, run_shard)
+        return results  # type: ignore[return-value]
+
+    def serve_outcomes(self, items: Iterable[Tuple[object, str]],
+                       workers: int = 4, **kwargs) -> List["QueryOutcome"]:
+        """:meth:`serve` with per-query error isolation: one
+        :class:`~repro.resilience.QueryOutcome` per ``(shard_key, query)``
+        pair, in submission order. Per-shard metrics record every
+        outcome (errors included), so a shard degrading under load is
+        visible as ``router_errors{shard=…}`` next to its latency skew.
+        """
+        items = list(items)
+        by_shard = self._group(items)
+        outcomes: List[Optional["QueryOutcome"]] = [None] * len(items)
+
+        def run_shard(owner: object, indexes: List[int]) -> None:
+            shard_outcomes = self.shards[owner].serve_outcomes(
+                [items[i][1] for i in indexes], workers=workers, **kwargs)
+            for i, outcome in zip(indexes, shard_outcomes):
+                outcomes[i] = outcome
+                seconds = (outcome.stats.total_seconds
+                           if outcome.stats is not None else None)
+                self._observe(owner, seconds, ok=outcome.ok)
+
+        self._fan_out(by_shard, run_shard)
+        return outcomes  # type: ignore[return-value]
+
+    def _group(self, items: List[Tuple[object, str]]
+               ) -> Dict[object, List[int]]:
+        by_shard: Dict[object, List[int]] = {}
+        for index, (key, _) in enumerate(items):
+            by_shard.setdefault(self.route(key), []).append(index)
+        return by_shard
+
+    @staticmethod
+    def _fan_out(by_shard: Dict[object, List[int]],
+                 run_shard: Callable[[object, List[int]], None]) -> None:
         if len(by_shard) <= 1:
             for owner, indexes in by_shard.items():
                 run_shard(owner, indexes)
-        else:
-            with ThreadPoolExecutor(max_workers=len(by_shard)) as pool:
-                futures = [pool.submit(run_shard, owner, indexes)
-                           for owner, indexes in by_shard.items()]
-                for future in futures:
-                    future.result()
-        return results  # type: ignore[return-value]
+            return
+        with ThreadPoolExecutor(max_workers=len(by_shard)) as pool:
+            futures = [pool.submit(run_shard, owner, indexes)
+                       for owner, indexes in by_shard.items()]
+            for future in futures:
+                future.result()
 
     # ------------------------------------------------------------------
     # Fleet persistence: one snapshot per shard, named by origin

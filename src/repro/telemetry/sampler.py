@@ -1,0 +1,199 @@
+"""Interval sampling of a :class:`MetricsRegistry` into windowed deltas.
+
+Cumulative counters and histograms answer "what happened since the
+session started"; a load run needs "what is happening *right now*" —
+QPS, error rate, and interval tail latency over the last second, next to
+point-in-time gauges (batcher queue depth, queries in flight). The
+:class:`MetricsSampler` turns the registry's monotonic state into that
+time series:
+
+* counters diff into per-window **rates** (a window's QPS is the
+  ``queries{outcome=*}`` count delta over the window length);
+* histograms diff **per-bucket**: bucket counts only ever grow, so the
+  per-bucket delta is a well-formed histogram of exactly the window's
+  observations, and :func:`~repro.telemetry.metrics.quantile_from_counts`
+  turns it into interval p50/p99 with the same one-growth-factor error
+  bound as the cumulative estimates;
+* gauges are copied as-is (they are already point-in-time).
+
+Two driving modes share one code path: call :meth:`sample` yourself at
+the cadence you like (deterministic under an injected clock — how the
+tests drive it), or :meth:`start` a daemon thread that samples every
+``interval`` seconds until :meth:`stop`. Either way :meth:`dump` writes
+the collected series as a ``repro-timeseries-v1`` artifact through the
+crash-safe :func:`~repro.persist.atomic.atomic_write_text` writer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, List, Optional
+
+from .metrics import (Counter, Gauge, MetricsRegistry, _render_key,
+                      quantile_from_counts)
+from .trace import SITE_TELEMETRY_DUMP
+
+TIMESERIES_SCHEMA = "repro-timeseries-v1"
+
+#: Rendered keys of the telemetry facade's outcome counters; the sampler
+#: derives its convenience ``qps``/``error_rate`` fields from these.
+_OK_KEY = "queries{outcome=ok}"
+_ERROR_KEY = "queries{outcome=error}"
+
+
+class MetricsSampler:
+    """Snapshots a registry on demand (or on an interval) and emits
+    windowed deltas between consecutive snapshots.
+
+    The first :meth:`sample` call establishes the baseline and returns
+    ``None``; every later call returns (and records) one window dict.
+    """
+
+    def __init__(self, registry: MetricsRegistry, clock=time.perf_counter):
+        self.registry = registry
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._samples: List[Dict[str, object]] = []
+        self._baseline_at: Optional[float] = None
+        self._prev: Optional[Dict[str, object]] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    def _capture(self) -> Dict[str, object]:
+        counters: Dict[str, int] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, object] = {}
+        for instrument in self.registry.instruments():
+            key = _render_key(instrument.name, instrument.labels)
+            if isinstance(instrument, Counter):
+                counters[key] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[key] = instrument.value
+            else:
+                histograms[key] = instrument.state()
+        return {"at": self._clock(), "counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def sample(self) -> Optional[Dict[str, object]]:
+        """Capture the registry and, when a baseline exists, return the
+        windowed delta since the previous capture."""
+        with self._lock:
+            current = self._capture()
+            previous, self._prev = self._prev, current
+            if previous is None:
+                self._baseline_at = current["at"]
+                return None
+            window = self._window(previous, current)
+            self._samples.append(window)
+            return window
+
+    def _window(self, previous: Dict[str, object],
+                current: Dict[str, object]) -> Dict[str, object]:
+        interval = max(0.0, current["at"] - previous["at"])
+        deltas: Dict[str, int] = {}
+        rates: Dict[str, float] = {}
+        for key, value in current["counters"].items():
+            delta = max(0, value - previous["counters"].get(key, 0))
+            deltas[key] = delta
+            rates[key] = delta / interval if interval > 0 else 0.0
+        histograms: Dict[str, Dict[str, object]] = {}
+        for key, state in current["histograms"].items():
+            prior = previous["histograms"].get(key)
+            if prior is not None and prior.bounds == state.bounds:
+                counts = tuple(max(0, now - before) for now, before
+                               in zip(state.counts, prior.counts))
+                count = max(0, state.count - prior.count)
+                total = max(0.0, state.sum - prior.sum)
+            else:  # instrument appeared (or changed shape) mid-window
+                counts, count, total = state.counts, state.count, state.sum
+            histograms[key] = {
+                "count": count,
+                "sum": total,
+                "p50": quantile_from_counts(state.bounds, counts, count, 0.5),
+                "p99": quantile_from_counts(state.bounds, counts, count, 0.99),
+            }
+        ok = deltas.get(_OK_KEY, 0)
+        errors = deltas.get(_ERROR_KEY, 0)
+        finished = ok + errors
+        return {
+            "t": current["at"] - self._baseline_at,
+            "interval": interval,
+            "qps": finished / interval if interval > 0 else 0.0,
+            "error_rate": errors / finished if finished else 0.0,
+            "counters": deltas,
+            "rates": rates,
+            "gauges": dict(current["gauges"]),
+            "histograms": histograms,
+        }
+
+    # ------------------------------------------------------------------
+    def samples(self) -> List[Dict[str, object]]:
+        """All windows recorded so far (baseline capture excluded)."""
+        with self._lock:
+            return list(self._samples)
+
+    def clear(self) -> None:
+        """Drop recorded windows and the baseline; the next
+        :meth:`sample` starts a fresh series."""
+        with self._lock:
+            self._samples.clear()
+            self._prev = None
+            self._baseline_at = None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    # ------------------------------------------------------------------
+    # Background mode
+    # ------------------------------------------------------------------
+    def start(self, interval: float = 1.0) -> None:
+        """Sample every ``interval`` seconds on a daemon thread until
+        :meth:`stop`. The baseline is captured immediately, so the first
+        background window covers the first interval, not session history.
+        """
+        if interval <= 0:
+            raise ValueError("sampling interval must be > 0")
+        if self._thread is not None:
+            raise RuntimeError("sampler already running")
+        self.sample()  # baseline
+        self._stop.clear()
+
+        def _run() -> None:
+            while not self._stop.wait(interval):
+                self.sample()
+
+        self._thread = threading.Thread(target=_run, daemon=True,
+                                        name="metrics-sampler")
+        self._thread.start()
+
+    def stop(self, final_sample: bool = True) -> None:
+        """Stop the background thread; by default take one last sample so
+        the tail of the run is never dropped."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join()
+        self._thread = None
+        if final_sample:
+            self.sample()
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {"schema": TIMESERIES_SCHEMA, "samples": self.samples()}
+
+    def dump(self, path, faults=None) -> str:
+        """Crash-safe ``repro-timeseries-v1`` dump of the series."""
+        text = json.dumps(self.to_dict(), indent=2)
+        from repro.persist.atomic import atomic_write_text
+        atomic_write_text(path, text, faults=faults,
+                          site=SITE_TELEMETRY_DUMP)
+        return str(path)
+
+    def __repr__(self) -> str:
+        running = self._thread is not None
+        return f"MetricsSampler(samples={len(self)}, running={running})"

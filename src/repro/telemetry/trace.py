@@ -13,8 +13,10 @@ and exports them two ways:
 
 * :meth:`Tracer.export_json` — the span trees as plain dicts;
 * :meth:`Tracer.export_chrome` — Chrome trace-event format (``ph: "X"``
-  complete events, microsecond timestamps), loadable in
-  ``chrome://tracing`` / Perfetto, with one timeline row per thread.
+  complete events, microsecond timestamps, plus ``ph: "M"``
+  process/thread-name metadata records), loadable in
+  ``chrome://tracing`` / Perfetto, with one labeled timeline row per
+  thread.
 
 Disabled-path contract: ``Tracer.start`` returns ``None`` when tracing
 is off without allocating anything — callers hold a single ``trace is
@@ -50,7 +52,7 @@ class Span:
     """One timed operation within a trace (a node of the span tree)."""
 
     __slots__ = ("name", "category", "start", "end", "status", "thread_id",
-                 "attributes", "events", "children", "_trace")
+                 "thread_name", "attributes", "events", "children", "_trace")
 
     def __init__(self, trace: "Trace", name: str, category: str = "",
                  attributes: Optional[Dict[str, object]] = None):
@@ -60,7 +62,9 @@ class Span:
         self.start = trace._now()
         self.end: Optional[float] = None
         self.status = "ok"
-        self.thread_id = threading.get_ident()
+        current = threading.current_thread()
+        self.thread_id = current.ident or threading.get_ident()
+        self.thread_name = current.name
         self.attributes = attributes
         self.events: List[tuple] = []
         self.children: List["Span"] = []
@@ -292,8 +296,27 @@ class Tracer:
         return [trace.to_dict() for trace in self.traces()]
 
     def export_chrome(self) -> Dict[str, object]:
+        """Chrome trace-event document: ``ph:"M"`` metadata records first
+        (process/thread names, so Perfetto lanes are labeled), then every
+        span/event from the ring."""
+        traces = self.traces()
+        pid = os.getpid()
+        thread_names: Dict[int, str] = {}
+        for trace in traces:
+            for span in trace.spans():
+                thread_names.setdefault(span.thread_id, span.thread_name)
         events: List[Dict[str, object]] = []
-        for trace in self.traces():
+        if traces:
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": "repro-serving"},
+            })
+            for tid in sorted(thread_names):
+                events.append({
+                    "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                    "args": {"name": thread_names[tid]},
+                })
+        for trace in traces:
             events.extend(trace.to_chrome())
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 

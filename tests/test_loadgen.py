@@ -1,0 +1,387 @@
+"""Load generation: seeded mixes, closed/open-loop harnesses, sweeps.
+
+Most tests drive a fake target (deterministic, fast); a small set runs
+against a real session and a shard router to pin the integration
+surface: outcome envelopes, per-shard labeled metrics, and the
+``queries_in_flight`` gauge draining to zero.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import RavenSession, ShardRouter, Table
+from repro.loadgen import (
+    ClosedLoopLoad,
+    LoadResult,
+    OpenLoopLoad,
+    QueryMix,
+    ResponseCurve,
+    SweepStep,
+    closed_loop_sweep,
+    find_knee,
+    open_loop_sweep,
+    router_target,
+    session_target,
+)
+from repro.loadgen.harness import RequestRecord
+from repro.resilience.retry import QueryOutcome
+
+
+def ok_target(delay: float = 0.0):
+    """A target that succeeds after an optional fixed sleep."""
+    def call(item):
+        if delay:
+            time.sleep(delay)
+        return QueryOutcome(query=str(item), table=object(), attempts=1)
+    return call
+
+
+class TrackingTarget:
+    """Counts calls and the max concurrent in-flight requests."""
+
+    def __init__(self, delay: float = 0.001):
+        self.delay = delay
+        self.calls = []
+        self.in_flight = 0
+        self.max_in_flight = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, item):
+        with self._lock:
+            self.calls.append(item)
+            self.in_flight += 1
+            self.max_in_flight = max(self.max_in_flight, self.in_flight)
+        time.sleep(self.delay)
+        with self._lock:
+            self.in_flight -= 1
+        return QueryOutcome(query=str(item), table=object(), attempts=1)
+
+
+# ---------------------------------------------------------------------------
+# QueryMix
+# ---------------------------------------------------------------------------
+
+class TestQueryMix:
+    def test_schedule_is_seed_deterministic(self):
+        mix = QueryMix(["a", "b", "c"], weights=[1, 2, 3])
+        assert mix.schedule(100, seed=7) == mix.schedule(100, seed=7)
+        assert mix.schedule(100, seed=7) != mix.schedule(100, seed=8)
+
+    def test_weights_shape_the_draw(self):
+        mix = QueryMix(["rare", "common"], weights=[1, 9])
+        sequence = mix.schedule(2000, seed=0)
+        share = sequence.count("common") / len(sequence)
+        assert 0.85 < share < 0.95
+
+    def test_uniform_default(self):
+        mix = QueryMix(["a", "b"])
+        assert mix.weights.tolist() == [0.5, 0.5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            QueryMix([])
+        with pytest.raises(ValueError, match="align"):
+            QueryMix(["a"], weights=[1, 2])
+        with pytest.raises(ValueError, match="non-negative"):
+            QueryMix(["a", "b"], weights=[1, -1])
+
+    def test_pair_items_for_router_mixes(self):
+        mix = QueryMix([("us", "q1"), ("eu", "q2")])
+        drawn = mix.schedule(10, seed=1)
+        assert all(isinstance(item, tuple) for item in drawn)
+
+
+# ---------------------------------------------------------------------------
+# Closed loop
+# ---------------------------------------------------------------------------
+
+class TestClosedLoop:
+    def test_every_request_gets_a_record(self):
+        target = TrackingTarget()
+        load = ClosedLoopLoad(target, QueryMix(["q"]), concurrency=3,
+                              requests=30, seed=1)
+        result = load.run()
+        assert result.requests == 30
+        assert len(target.calls) == 30
+        assert all(isinstance(r, RequestRecord) for r in result.records)
+        assert result.error_rate == 0.0
+        assert result.achieved_qps > 0
+
+    def test_concurrency_is_bounded(self):
+        target = TrackingTarget(delay=0.002)
+        ClosedLoopLoad(target, QueryMix(["q"]), concurrency=4,
+                       requests=40, seed=1).run()
+        assert target.max_in_flight <= 4
+
+    def test_schedule_reproducible_across_instances(self):
+        mix = QueryMix(["a", "b", "c"])
+        one = ClosedLoopLoad(ok_target(), mix, concurrency=2, requests=50,
+                             think_seconds=0.001, seed=9)
+        two = ClosedLoopLoad(ok_target(), mix, concurrency=2, requests=50,
+                             think_seconds=0.001, seed=9)
+        assert one.items == two.items
+        assert np.array_equal(one.think_times, two.think_times)
+
+    def test_issued_queries_match_the_schedule(self):
+        target = TrackingTarget(delay=0.0)
+        load = ClosedLoopLoad(target, QueryMix(["a", "b"]), concurrency=1,
+                              requests=20, seed=3)
+        load.run()
+        assert target.calls == load.items  # single worker: exact order
+
+    def test_closed_loop_latency_is_service_time(self):
+        result = ClosedLoopLoad(ok_target(0.001), QueryMix(["q"]),
+                                concurrency=2, requests=10, seed=0).run()
+        for record in result.records:
+            assert record.scheduled == record.started
+            assert record.latency_seconds == record.service_seconds
+
+    def test_raising_target_is_isolated(self):
+        def bad(item):
+            raise RuntimeError("boom")
+        result = ClosedLoopLoad(bad, QueryMix(["q"]), concurrency=2,
+                                requests=8, seed=0).run()
+        assert result.requests == 8
+        assert result.error_rate == 1.0
+        assert all(r.error == "RuntimeError" for r in result.records)
+
+    def test_validation(self):
+        mix = QueryMix(["q"])
+        with pytest.raises(ValueError):
+            ClosedLoopLoad(ok_target(), mix, concurrency=0, requests=1)
+        with pytest.raises(ValueError):
+            ClosedLoopLoad(ok_target(), mix, concurrency=1, requests=0)
+        with pytest.raises(ValueError):
+            ClosedLoopLoad(ok_target(), mix, concurrency=1, requests=1,
+                           think_seconds=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Open loop
+# ---------------------------------------------------------------------------
+
+class TestOpenLoop:
+    def test_arrivals_are_seeded_poisson(self):
+        mix = QueryMix(["q"])
+        one = OpenLoopLoad(ok_target(), mix, rate=100.0, requests=500,
+                           seed=5)
+        two = OpenLoopLoad(ok_target(), mix, rate=100.0, requests=500,
+                           seed=5)
+        assert np.array_equal(one.arrivals, two.arrivals)
+        assert one.items == two.items
+        gaps = np.diff(np.concatenate([[0.0], one.arrivals]))
+        assert gaps.mean() == pytest.approx(1 / 100.0, rel=0.2)
+        assert np.all(np.diff(one.arrivals) >= 0)
+
+    def test_latency_counts_from_scheduled_arrival(self):
+        result = OpenLoopLoad(ok_target(0.001), QueryMix(["q"]),
+                              rate=1000.0, requests=50, seed=2,
+                              max_workers=2).run()
+        assert result.requests == 50
+        for record in result.records:
+            assert record.started >= record.scheduled - 1e-6
+            assert record.latency_seconds >= record.service_seconds - 1e-9
+
+    def test_overload_queue_wait_grows(self):
+        # 2 workers x 5ms service = ~400 QPS capacity; offer 2000 QPS.
+        result = OpenLoopLoad(ok_target(0.005), QueryMix(["q"]),
+                              rate=2000.0, requests=60, seed=4,
+                              max_workers=2).run()
+        early = result.records[0].latency_seconds
+        late = result.records[-1].latency_seconds
+        assert late > early  # the backlog shows up in scheduled latency
+        assert result.quantile(0.99) > result.quantile(
+            0.99, kind="service")
+
+    def test_validation(self):
+        mix = QueryMix(["q"])
+        with pytest.raises(ValueError):
+            OpenLoopLoad(ok_target(), mix, rate=0.0, requests=1)
+        with pytest.raises(ValueError):
+            OpenLoopLoad(ok_target(), mix, rate=1.0, requests=0)
+        with pytest.raises(ValueError):
+            OpenLoopLoad(ok_target(), mix, rate=1.0, requests=1,
+                         max_workers=0)
+
+
+# ---------------------------------------------------------------------------
+# LoadResult
+# ---------------------------------------------------------------------------
+
+class TestLoadResult:
+    def _result(self):
+        records = [RequestRecord(index=i, query="q", scheduled=0.0,
+                                 started=0.0, finished=0.01 * (i + 1),
+                                 ok=i % 5 != 0, attempts=1,
+                                 degraded=("retried",) if i == 1 else ())
+                   for i in range(10)]
+        return LoadResult(records, wall_seconds=2.0, mode="closed",
+                          offered=4.0)
+
+    def test_aggregates(self):
+        result = self._result()
+        assert result.requests == 10
+        assert result.errors == 2
+        assert result.error_rate == pytest.approx(0.2)
+        assert result.achieved_qps == pytest.approx(5.0)
+        summary = result.summary()
+        assert summary["degraded"] == 1
+        assert summary["p99_seconds"] == pytest.approx(
+            float(np.quantile([0.01 * (i + 1) for i in range(10)], 0.99)))
+
+    def test_quantile_kinds(self):
+        result = self._result()
+        with pytest.raises(ValueError):
+            result.latencies(kind="nope")
+        assert result.quantile(0.5) == result.quantile(0.5, kind="service")
+
+
+# ---------------------------------------------------------------------------
+# Sweeps + knee detection
+# ---------------------------------------------------------------------------
+
+def make_steps(qps, p99):
+    return [SweepStep(offered=float(2 ** i), achieved_qps=float(q),
+                      p50_seconds=p / 2, p99_seconds=float(p),
+                      error_rate=0.0, requests=100)
+            for i, (q, p) in enumerate(zip(qps, p99))]
+
+
+class TestKneeDetection:
+    def test_classic_saturation(self):
+        # Throughput plateaus at step 2 while p99 blows up: knee is the
+        # step before the first saturated one.
+        steps = make_steps([100, 190, 195, 196],
+                           [0.010, 0.012, 0.040, 0.200])
+        assert find_knee(steps) == 1
+
+    def test_no_saturation_returns_peak(self):
+        steps = make_steps([100, 190, 350], [0.010, 0.011, 0.012])
+        assert find_knee(steps) == 2
+
+    def test_plateau_without_blowup_is_not_saturation(self):
+        # Flat throughput but healthy latency: knee = argmax throughput.
+        steps = make_steps([100, 102, 101], [0.010, 0.011, 0.011])
+        assert find_knee(steps) == 1
+
+    def test_single_step(self):
+        steps = make_steps([50], [0.01])
+        assert find_knee(steps) == 0
+        with pytest.raises(ValueError):
+            find_knee([])
+
+
+class TestResponseCurve:
+    def test_headline_numbers(self):
+        steps = make_steps([100, 180, 185, 184],
+                           [0.010, 0.015, 0.080, 0.500])
+        curve = ResponseCurve(steps, mode="closed")
+        assert curve.knee_index == 1
+        assert curve.peak_sustained_qps == 180
+        assert curve.knee.offered == 2.0
+        # 70% of knee offered (2.0) = 1.4 → nearest step is offered=1.
+        assert curve.step_at_fraction(0.7).offered == 1.0
+        assert curve.p99_at_fraction(0.7) == pytest.approx(0.010)
+
+    def test_to_dict_round_trips_steps(self):
+        steps = make_steps([10, 20], [0.01, 0.02])
+        payload = ResponseCurve(steps, mode="open").to_dict()
+        assert payload["mode"] == "open"
+        assert len(payload["steps"]) == 2
+        assert payload["peak_sustained_qps"] == 20
+        assert payload["steps"][0]["offered"] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ResponseCurve([], mode="closed")
+
+    def test_closed_loop_sweep_runs_every_level(self):
+        target = TrackingTarget(delay=0.0005)
+        curve = closed_loop_sweep(target, QueryMix(["q"]), [1, 2, 4],
+                                  requests_per_step=12, seed=0)
+        assert [step.offered for step in curve.steps] == [1.0, 2.0, 4.0]
+        assert all(step.requests == 12 for step in curve.steps)
+        assert len(target.calls) == 36
+
+    def test_open_loop_sweep_runs_every_level(self):
+        curve = open_loop_sweep(ok_target(0.0005), QueryMix(["q"]),
+                                rates=[200.0, 400.0], requests_per_step=20,
+                                seed=0, max_workers=4)
+        assert [step.offered for step in curve.steps] == [200.0, 400.0]
+        assert curve.mode == "open"
+
+
+# ---------------------------------------------------------------------------
+# Integration: real session + shard router targets
+# ---------------------------------------------------------------------------
+
+def make_session(n=4_000, **kwargs) -> RavenSession:
+    rng = np.random.default_rng(11)
+    session = RavenSession(**kwargs)
+    session.register_table(
+        "events",
+        Table.from_arrays(id=np.arange(n), x=rng.normal(size=n),
+                          bucket=(np.arange(n) % 4).astype(np.int64)),
+        primary_key=["id"])
+    return session
+
+
+EVENTS_QUERY = "SELECT e.id FROM events AS e WHERE e.bucket = 1"
+
+
+class TestSessionIntegration:
+    def test_session_target_closed_loop(self):
+        session = make_session()
+        result = ClosedLoopLoad(session_target(session),
+                                QueryMix([EVENTS_QUERY]), concurrency=2,
+                                requests=10, seed=0).run()
+        assert result.error_rate == 0.0
+        assert result.requests == 10
+        # Satellite: the live-concurrency gauge drained back to zero.
+        assert session.serving_stats.queries_in_flight == 0
+        assert session.serving_stats.completed == 10
+
+    def test_failing_queries_become_error_records(self):
+        session = make_session()
+        mix = QueryMix([EVENTS_QUERY,
+                        "SELECT m.id FROM missing AS m WHERE m.id > 0"])
+        result = ClosedLoopLoad(session_target(session), mix,
+                                concurrency=2, requests=16, seed=1).run()
+        assert 0.0 < result.error_rate < 1.0
+        failed = [r for r in result.records if not r.ok]
+        assert all(r.error == "CatalogError" for r in failed)
+        assert session.serving_stats.queries_in_flight == 0
+
+    def test_router_target_records_shard_metrics(self):
+        router = ShardRouter({"us": make_session(), "eu": make_session()})
+        mix = QueryMix([("us", EVENTS_QUERY), ("eu", EVENTS_QUERY)])
+        result = ClosedLoopLoad(router_target(router), mix, concurrency=2,
+                                requests=12, seed=2).run()
+        assert result.error_rate == 0.0
+        snapshot = router.metrics.snapshot()
+        per_shard = {key: value for key, value
+                     in snapshot["counters"].items()
+                     if key.startswith("router_queries")}
+        assert set(per_shard) == {"router_queries{shard=us}",
+                                  "router_queries{shard=eu}"}
+        assert sum(per_shard.values()) == 12
+        hist = snapshot["histograms"]["router_query_seconds{shard=us}"]
+        assert hist["count"] == per_shard["router_queries{shard=us}"]
+        assert snapshot["counters"]["router_errors{shard=us}"] == 0
+
+    def test_router_serve_outcomes_orders_and_isolates(self):
+        router = ShardRouter({"us": make_session(), "eu": make_session()})
+        items = [("us", EVENTS_QUERY),
+                 ("eu", "SELECT m.id FROM missing AS m WHERE m.id > 0"),
+                 ("eu", EVENTS_QUERY)]
+        outcomes = router.serve_outcomes(items, workers=2)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[0].query == EVENTS_QUERY
+        snapshot = router.metrics.snapshot()
+        assert snapshot["counters"]["router_errors{shard=eu}"] == 1
+        assert snapshot["counters"]["router_queries{shard=eu}"] == 2
